@@ -1,0 +1,273 @@
+// Package b3 is the public API of this repository: a Go reproduction of
+// "Finding Crash-Consistency Bugs with Bounded Black-Box Crash Testing"
+// (Mohan, Martinez, Ponnapalli, Raju, Chidambaram — OSDI 2018).
+//
+// The B3 approach tests a file system in a black-box manner: workloads of
+// file-system operations are generated exhaustively within a bounded space
+// (ACE), each workload is executed while its block IO is recorded, a crash
+// is simulated after every persistence point, and the recovered state is
+// checked against an oracle (CrashMonkey).
+//
+// Quick start:
+//
+//	fs, _ := b3.NewFS("logfs", b3.CampaignConfig())   // btrfs-like, Table 5 bugs live
+//	res, _ := b3.Test(fs, `
+//	    creat /foo
+//	    mkdir /A
+//	    link /foo /A/bar
+//	    fsync /foo
+//	`)
+//	if res.Buggy() { fmt.Println(res.Primary()) }
+//
+// or run a full campaign:
+//
+//	stats, _ := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1})
+//	fmt.Print(stats.Summary())
+//
+// Everything the paper's evaluation reports can be regenerated; see
+// EXPERIMENTS.md and the cmd/ tools.
+package b3
+
+import (
+	"fmt"
+
+	"b3/internal/ace"
+	"b3/internal/bugs"
+	"b3/internal/campaign"
+	"b3/internal/crashmonkey"
+	"b3/internal/filesys"
+	"b3/internal/fsmake"
+	"b3/internal/report"
+	"b3/internal/study"
+	"b3/internal/workload"
+	"b3/internal/xfstests"
+)
+
+// Re-exported core types.
+type (
+	// FileSystem is a file system under test.
+	FileSystem = filesys.FileSystem
+	// MountedFS is the POSIX-like view CrashMonkey drives.
+	MountedFS = filesys.MountedFS
+	// Workload is an executable operation sequence.
+	Workload = workload.Workload
+	// Monkey is the CrashMonkey harness.
+	Monkey = crashmonkey.Monkey
+	// Result is the outcome of testing one crash state.
+	Result = crashmonkey.Result
+	// Finding is one detected crash-consistency violation.
+	Finding = crashmonkey.Finding
+	// Bounds is an ACE exploration space.
+	Bounds = ace.Bounds
+	// CampaignStats summarises a testing campaign.
+	CampaignStats = campaign.Stats
+	// Version is a simulated kernel version.
+	Version = bugs.Version
+	// Bug is a catalogued crash-consistency bug mechanism.
+	Bug = bugs.Bug
+	// Group is a deduplicated set of bug reports (Figure 5).
+	Group = report.Group
+	// ProfileName selects a Table 4 workload set.
+	ProfileName = ace.ProfileName
+)
+
+// Profiles lists the Table 4 workload sets in paper order.
+func Profiles() []ProfileName { return ace.Profiles() }
+
+// ACE profile names (Table 4).
+const (
+	Seq1         = ace.ProfileSeq1
+	Seq2         = ace.ProfileSeq2
+	Seq3Data     = ace.ProfileSeq3Data
+	Seq3Metadata = ace.ProfileSeq3Metadata
+	Seq3Nested   = ace.ProfileSeq3Nested
+)
+
+// FSNames lists the available file systems under test.
+func FSNames() []string { return fsmake.Names() }
+
+// FSConfig selects the bug configuration of a file system under test.
+type FSConfig struct {
+	// Version simulates a kernel era (zero = 4.16). The bug mechanisms
+	// live at that version are active.
+	Version Version
+	// Fixed disables every bug mechanism.
+	Fixed bool
+	// NewBugsOnly activates exactly the Table 5 mechanisms (the paper's
+	// campaign configuration).
+	NewBugsOnly bool
+	// Bugs, when non-nil, is the exact active mechanism set.
+	Bugs map[string]bool
+}
+
+// CampaignConfig is the configuration the paper's two-day campaign models.
+func CampaignConfig() FSConfig { return FSConfig{NewBugsOnly: true} }
+
+// FixedConfig is a fully repaired file system (harness soundness baseline).
+func FixedConfig() FSConfig { return FSConfig{Fixed: true} }
+
+// AtKernel simulates the given kernel version ("3.13", "4.4", ...).
+func AtKernel(version string) (FSConfig, error) {
+	v, err := bugs.ParseVersion(version)
+	if err != nil {
+		return FSConfig{}, err
+	}
+	return FSConfig{Version: v}, nil
+}
+
+// NewFS constructs a file system under test by name ("logfs", "journalfs",
+// "f2fsim", "fscqsim").
+func NewFS(name string, cfg FSConfig) (FileSystem, error) {
+	switch {
+	case cfg.Fixed:
+		return fsmake.Fixed(name)
+	case cfg.NewBugsOnly:
+		return fsmake.NewBugsOnly(name)
+	case cfg.Bugs != nil:
+		return fsmake.New(name, cfg.Version, cfg.Bugs)
+	default:
+		ver := cfg.Version
+		if ver.IsZero() {
+			ver = bugs.Latest
+		}
+		return fsmake.AtVersion(name, ver)
+	}
+}
+
+// ParseWorkload parses the textual workload language (see package
+// documentation for the syntax).
+func ParseWorkload(id, text string) (*Workload, error) {
+	return workload.Parse(id, text)
+}
+
+// Test runs one workload through CrashMonkey against fs, crashing at the
+// final persistence point and checking the recovered state.
+func Test(fs FileSystem, text string) (*Result, error) {
+	w, err := workload.Parse("adhoc", text)
+	if err != nil {
+		return nil, err
+	}
+	return (&crashmonkey.Monkey{FS: fs}).Run(w)
+}
+
+// TestWorkload is Test for a pre-parsed workload.
+func TestWorkload(fs FileSystem, w *Workload) (*Result, error) {
+	return (&crashmonkey.Monkey{FS: fs}).Run(w)
+}
+
+// Campaign configures a full B3 run: exhaustive generation + testing.
+type Campaign struct {
+	FS FileSystem
+	// Profile selects a Table 4 workload set; Bounds overrides it.
+	Profile ace.ProfileName
+	Bounds  *Bounds
+	// Workers, MaxWorkloads, SampleEvery tune the run (see campaign docs).
+	Workers      int
+	MaxWorkloads int64
+	SampleEvery  int64
+	// DedupKnown seeds the §5.3 known-bug database from the studied-bug
+	// corpus, so only new bugs are reported.
+	DedupKnown bool
+}
+
+// RunCampaign executes the campaign and returns its statistics.
+func RunCampaign(c Campaign) (*CampaignStats, error) {
+	bounds := ace.Default(1)
+	if c.Bounds != nil {
+		bounds = *c.Bounds
+	} else if c.Profile != "" {
+		var err error
+		bounds, err = ace.Profile(c.Profile)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cfg := campaign.Config{
+		FS:           c.FS,
+		Bounds:       bounds,
+		Workers:      c.Workers,
+		MaxWorkloads: c.MaxWorkloads,
+		SampleEvery:  c.SampleEvery,
+	}
+	if c.DedupKnown {
+		cfg.KnownDB = KnownBugDB(c.FS.Name())
+	}
+	return campaign.Run(cfg)
+}
+
+// KnownBugDB builds the §5.3 known-bug database for one file system from
+// the studied-bug corpus: each reproduced bug contributes its skeleton and
+// consequence.
+func KnownBugDB(fsName string) *report.KnownDB {
+	db := report.NewKnownDB()
+	for _, entry := range study.Reproduced() {
+		for _, variant := range entry.Variants {
+			if variant.FS != fsName {
+				continue
+			}
+			w, err := workload.Parse(entry.ID, entry.Text)
+			if err != nil {
+				continue
+			}
+			for _, cons := range entry.Expect {
+				db.Add(w.Skeleton(), cons, entry.ID)
+			}
+		}
+	}
+	return db
+}
+
+// DefaultBounds returns the Table 3 bounds for a sequence length.
+func DefaultBounds(seqLen int) Bounds { return ace.Default(seqLen) }
+
+// ProfileBounds returns the bounds of a Table 4 profile.
+func ProfileBounds(name ace.ProfileName) (Bounds, error) { return ace.Profile(name) }
+
+// GenerateWorkloads streams the bounded workload space to fn (ACE).
+func GenerateWorkloads(b Bounds, fn func(*Workload) bool) (int64, error) {
+	return ace.New(b).Generate(fn)
+}
+
+// Table1 renders the paper's Table 1 from the study corpus.
+func Table1() string { return study.Table1() }
+
+// Table2 renders the paper's Table 2.
+func Table2() string { return study.Table2() }
+
+// Table5 renders the paper's Table 5; found marks bug IDs discovered by a
+// campaign (nil = mark all).
+func Table5(found map[string]bool) string { return study.Table5(found) }
+
+// AllBugs returns the full bug-mechanism catalogue.
+func AllBugs() []Bug { return bugs.All() }
+
+// NewBugs returns the Table 5 catalogue entries.
+func NewBugs() []Bug { return bugs.NewBugs() }
+
+// StudyCorpus returns the appendix workload corpus.
+func StudyCorpus() []study.Entry { return study.All() }
+
+// RegressionBaseline runs the xfstests-style regression suite (§2) against
+// fs and reports how many of its canned tests flag bugs.
+func RegressionBaseline(fs FileSystem) (ran int, failures []string, err error) {
+	suite, err := xfstests.RegressionSuite()
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := suite.Run(fs)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Ran, res.Failures, nil
+}
+
+// Latest is the newest simulated kernel (4.16, Table 1).
+var Latest = bugs.Latest
+
+// ErrHint formats a finding list for reports.
+func ErrHint(findings []Finding) string {
+	if len(findings) == 0 {
+		return "consistent"
+	}
+	return fmt.Sprintf("%d finding(s), first: %s", len(findings), findings[0])
+}

@@ -1,0 +1,153 @@
+package b3_test
+
+import (
+	"strings"
+	"testing"
+
+	"b3"
+	"b3/internal/bugs"
+	"b3/internal/workload"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b3.Test(fs, `
+creat /foo
+mkdir /A
+link /foo /A/bar
+fsync /foo
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Buggy() {
+		t.Fatal("Table 5 #7 should reproduce through the facade")
+	}
+}
+
+func TestFacadeFSConfigs(t *testing.T) {
+	for _, name := range b3.FSNames() {
+		for _, cfg := range []b3.FSConfig{b3.FixedConfig(), b3.CampaignConfig(), {}} {
+			if _, err := b3.NewFS(name, cfg); err != nil {
+				t.Fatalf("NewFS(%s, %+v): %v", name, cfg, err)
+			}
+		}
+	}
+	if _, err := b3.NewFS("nope", b3.FixedConfig()); err == nil {
+		t.Fatal("expected error for unknown FS")
+	}
+	cfg, err := b3.AtKernel("3.13")
+	if err != nil || cfg.Version != (b3.Version{Major: 3, Minor: 13}) {
+		t.Fatalf("AtKernel: %+v %v", cfg, err)
+	}
+	if _, err := b3.AtKernel("not-a-version"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	if !strings.Contains(b3.Table1(), "Corruption") {
+		t.Fatal("Table1 empty")
+	}
+	if !strings.Contains(b3.Table2(), "btrfs") {
+		t.Fatal("Table2 empty")
+	}
+	if !strings.Contains(b3.Table5(nil), "FSCQ") {
+		t.Fatal("Table5 empty")
+	}
+	if len(b3.AllBugs()) < 35 {
+		t.Fatalf("bug catalogue too small: %d", len(b3.AllBugs()))
+	}
+	if len(b3.NewBugs()) != 11 {
+		t.Fatalf("new bugs = %d", len(b3.NewBugs()))
+	}
+	if len(b3.StudyCorpus()) != 37 {
+		t.Fatalf("corpus entries = %d, want 37 (24+2+11)", len(b3.StudyCorpus()))
+	}
+}
+
+func TestKnownBugDBSuppressesReproducedBugs(t *testing.T) {
+	db := b3.KnownBugDB("logfs")
+	if db.Len() == 0 {
+		t.Fatal("empty known-bug DB")
+	}
+}
+
+func TestRegressionBaselineThroughFacade(t *testing.T) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, failures, err := b3.RegressionBaseline(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran == 0 {
+		t.Fatal("no regression tests ran")
+	}
+	if len(failures) != 0 {
+		t.Fatalf("regression suite flagged %v on the campaign config — it must miss the new bugs (§6.2)", failures)
+	}
+}
+
+// TestExhaustiveSoundnessRenameSpace sweeps a dense seq-3 rename/creat
+// space — the hardest namespace shapes for the oracle (replacements,
+// chains, directory renames) — against fully fixed file systems. Any
+// finding is a false positive in either the FS or the checker. During
+// development this sweep found and minimized several real bugs in the
+// fixed logfs (see DESIGN.md "The harness tested its own substrate").
+func TestExhaustiveSoundnessRenameSpace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive sweep")
+	}
+	for _, name := range b3.FSNames() {
+		fs, err := b3.NewFS(name, b3.FixedConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bounds := b3.DefaultBounds(3)
+		bounds.Ops = []workload.OpKind{workload.OpCreat, workload.OpRename}
+		bounds.Files = []string{"/A/bar", "/B/bar", "/A/foo"}
+		sample := int64(7)
+		if name != "logfs" {
+			sample = 29 // lighter pass for the simpler substrates
+		}
+		stats, err := b3.RunCampaign(b3.Campaign{FS: fs, Bounds: &bounds, SampleEvery: sample})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Failed != 0 {
+			t.Fatalf("fixed %s produced %d findings:\n%s", name, stats.Failed, stats.Summary())
+		}
+		if stats.Errors != 0 {
+			t.Fatalf("%s: %d workload errors", name, stats.Errors)
+		}
+	}
+}
+
+// TestCampaignConfigProducesOnlyNewConsequences: at the campaign
+// configuration no unmountable states may appear (no Table 5 bug causes
+// one), guarding against harness artifacts masquerading as bugs.
+func TestCampaignConfigProducesOnlyNewConsequences(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := b3.DefaultBounds(2)
+	bounds.Ops = []workload.OpKind{workload.OpCreat, workload.OpRename, workload.OpLink}
+	stats, err := b3.RunCampaign(b3.Campaign{FS: fs, Bounds: &bounds, SampleEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range stats.Groups {
+		if g.Key.Consequence == bugs.Unmountable {
+			t.Fatalf("unexpected unmountable group:\n%s", g.Render())
+		}
+	}
+}

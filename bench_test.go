@@ -1,0 +1,456 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (§6), plus ablations for the design choices B3 argues for
+// (§4.1/§4.3). EXPERIMENTS.md records paper-vs-measured for each.
+package b3_test
+
+import (
+	"testing"
+
+	"b3"
+	"b3/internal/ace"
+	"b3/internal/bugs"
+	"b3/internal/crashmonkey"
+	"b3/internal/fsmake"
+	"b3/internal/report"
+	"b3/internal/study"
+	"b3/internal/workload"
+	"b3/internal/xfstests"
+)
+
+// ---- Table 1 / Table 2: the §3 bug study --------------------------------
+
+func BenchmarkTable1BugStudy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := study.Table1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkTable2Examples(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := study.Table2(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---- Figure 1: the btrfs unmountable bug ---------------------------------
+
+func BenchmarkFigure1Workload(b *testing.B) {
+	fs, err := fsmake.AtVersion("logfs", bugs.MustVersion("4.15"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := mustParse(b, "fig1", `
+mkdir /A
+creat /A/foo
+link /A/foo /A/bar
+sync
+unlink /A/bar
+creat /A/bar
+fsync /A/bar
+`)
+	mk := &crashmonkey.Monkey{FS: fs}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mk.Run(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Mountable {
+			b.Fatal("Figure 1 bug did not reproduce")
+		}
+	}
+}
+
+// ---- Table 3 / Figure 4: ACE bounds and phases ----------------------------
+
+func BenchmarkTable3Bounds(b *testing.B) {
+	bounds := ace.Default(3)
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = 0
+		for _, kind := range bounds.Ops {
+			n += len(bounds.Ops) // phase-1 skeleton fan-out per slot
+			_ = kind
+		}
+	}
+	_ = n
+}
+
+// BenchmarkFigure4Phases measures the full 4-phase generation pipeline
+// (skeleton -> parameters -> persistence points -> dependencies) per
+// workload produced.
+func BenchmarkFigure4Phases(b *testing.B) {
+	bounds := ace.Default(2)
+	b.ReportAllocs()
+	emitted := 0
+	for emitted < b.N {
+		_, err := ace.New(bounds).Generate(func(w *workload.Workload) bool {
+			emitted++
+			return emitted < b.N
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(emitted), "workloads")
+}
+
+// ---- §6.4: ACE generation rate (paper: ~150 workloads/s) ------------------
+
+func BenchmarkAceGenerationRate(b *testing.B) {
+	bounds := ace.Default(1)
+	for i := 0; i < b.N; i++ {
+		n, err := ace.New(bounds).Count()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "workloads/op")
+	}
+}
+
+// ---- §6.3 / Figure 3: CrashMonkey phase latencies --------------------------
+
+var phaseWorkload = `
+mkdir /A
+creat /A/foo
+write /A/foo 0 16384
+fsync /A/foo
+link /A/foo /A/bar
+rename /A/foo /A/baz
+sync
+`
+
+// BenchmarkCrashMonkeyProfile is phase 1 of Figure 3: execute the workload
+// while recording block IO and capturing oracles (paper: dominated by
+// kernel mount delays; here µs-scale, same breakdown shape).
+func BenchmarkCrashMonkeyProfile(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "phase", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mk.ProfileWorkload(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrashMonkeyConstructCrashState is phase 2: replay recorded IO
+// onto a COW snapshot and mount (paper: ~20ms per crash state).
+func BenchmarkCrashMonkeyConstructCrashState(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "phase", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs, SkipWriteChecks: true}
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mk.TestCheckpoint(p, p.Checkpoints()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCrashMonkeyCheck is phase 3: the AutoChecker's read and write
+// checks (paper: ~20ms).
+func BenchmarkCrashMonkeyCheck(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "phase", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mk.TestCheckpoint(p, p.Checkpoints())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Buggy() {
+			b.Fatal("unexpected findings")
+		}
+	}
+}
+
+// BenchmarkCrashMonkeyEndToEnd is the full per-workload pipeline (paper:
+// 4.6s end-to-end, 84% of it kernel mount delays absent here).
+func BenchmarkCrashMonkeyEndToEnd(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "phase", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mk.Run(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Table 4: per-profile campaign throughput ------------------------------
+
+func benchCampaign(b *testing.B, profile b3.ProfileName, sample int64) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		stats, err := b3.RunCampaign(b3.Campaign{
+			FS:           fs,
+			Profile:      profile,
+			SampleEvery:  sample,
+			MaxWorkloads: 2000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.TestRate(), "workloads/s")
+	}
+}
+
+func BenchmarkTable4Seq1(b *testing.B)         { benchCampaign(b, b3.Seq1, 1) }
+func BenchmarkTable4Seq2(b *testing.B)         { benchCampaign(b, b3.Seq2, 1) }
+func BenchmarkTable4Seq3Data(b *testing.B)     { benchCampaign(b, b3.Seq3Data, 1) }
+func BenchmarkTable4Seq3Metadata(b *testing.B) { benchCampaign(b, b3.Seq3Metadata, 1) }
+func BenchmarkTable4Seq3Nested(b *testing.B)   { benchCampaign(b, b3.Seq3Nested, 1) }
+
+// ---- Table 5: the new-bug campaign ----------------------------------------
+
+func BenchmarkTable5Seq1Campaign(b *testing.B) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		stats, err := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1, DedupKnown: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Failed == 0 {
+			b.Fatal("seq-1 campaign must find the single-op Table 5 bugs")
+		}
+		b.ReportMetric(float64(len(stats.FreshGroups)), "bug-groups")
+	}
+}
+
+// ---- Figure 5: report grouping and dedup -----------------------------------
+
+func BenchmarkFigure5Dedup(b *testing.B) {
+	// Build a realistic report set once: a buggy seq-1 sweep.
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stats, err := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reports []*report.Report
+	for _, g := range stats.Groups {
+		reports = append(reports, g.Reports...)
+	}
+	if len(reports) == 0 {
+		b.Fatal("no reports to group")
+	}
+	db := b3.KnownBugDB("logfs")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		groups := report.GroupReports(reports)
+		fresh, _ := db.Split(groups)
+		b.ReportMetric(float64(len(reports))/float64(len(groups)), "reports/group")
+		_ = fresh
+	}
+}
+
+// ---- §6.2 baseline: the regression suite -----------------------------------
+
+func BenchmarkBaselineXfstests(b *testing.B) {
+	suite, err := xfstests.RegressionSuite()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := suite.Run(fs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The whole point of §6.2: the regression suite sees nothing.
+		b.ReportMetric(float64(len(res.Failures)), "bugs-found")
+	}
+}
+
+// ---- §6.5: memory consumption ----------------------------------------------
+
+func BenchmarkMemoryPerWorkload(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "mem", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	b.ReportAllocs()
+	var dirty int64
+	for i := 0; i < b.N; i++ {
+		p, err := mk.ProfileWorkload(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirty = p.DirtyBytes
+	}
+	// COW overlay footprint (paper: ~20 MB per VM; here KiB-scale because
+	// only modified blocks are held).
+	b.ReportMetric(float64(dirty)/1024, "KiB-dirty")
+}
+
+// ---- Ablations (§4.1, §4.3, §5.1 design choices) ----------------------------
+
+// BenchmarkAblationCrashPointSpace quantifies the §4.1 argument: crashing
+// only at persistence points yields a linear number of crash states, versus
+// exponential (2^n orderings) for mid-operation crashes. Reported metrics:
+// persistence points vs block writes between them.
+func BenchmarkAblationCrashPointSpace(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "space", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	for i := 0; i < b.N; i++ {
+		p, err := mk.ProfileWorkload(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		writes := 0
+		for _, n := range p.WritesBetweenCheckpoints() {
+			writes += n
+		}
+		b.ReportMetric(float64(p.Checkpoints()), "crash-points")
+		b.ReportMetric(float64(writes), "block-writes")
+	}
+}
+
+// BenchmarkAblationPrefixReplay measures the mid-operation crash-state
+// extension (§4.4 limitation 2): constructing one crash state per write
+// prefix instead of one per persistence point.
+func BenchmarkAblationPrefixReplay(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "prefix", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	states := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		states = 0
+		for n := 1; ; n++ {
+			crash, applied, err := p.PrefixState(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = crash
+			states++
+			if applied < n {
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(states), "prefix-states")
+}
+
+// BenchmarkAblationMidOpExploration measures the full mid-operation sweep
+// (every write prefix + every dropped unflushed write) that validates the
+// core-mechanism assumption (§4.4 limitation 2).
+func BenchmarkAblationMidOpExploration(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "midop", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		report, err := mk.ExploreMidOp(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !report.Clean() {
+			b.Fatalf("core mechanism broken: %v", report.Broken)
+		}
+		b.ReportMetric(float64(report.States), "mid-op-states")
+	}
+}
+
+// BenchmarkAblationFsckVsAutoChecker compares the fine-grained AutoChecker
+// against running full fsck on every crash state (§4.3: "fsck is both
+// time-consuming ... and can miss data loss/corruption bugs").
+func BenchmarkAblationFsckVsAutoChecker(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "fsck", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs, SkipWriteChecks: true}
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("autochecker", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mk.TestCheckpoint(p, p.Checkpoints()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fsck", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			crash, _, err := p.PrefixState(1 << 30)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := fs.Fsck(crash); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationWriteChecks measures the cost of the destructive write
+// checks relative to read-only checking (§5.1).
+func BenchmarkAblationWriteChecks(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "wc", phaseWorkload)
+	for _, mode := range []struct {
+		name string
+		skip bool
+	}{{"with-write-checks", false}, {"read-only", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			mk := &crashmonkey.Monkey{FS: fs, SkipWriteChecks: mode.skip}
+			p, err := mk.ProfileWorkload(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mk.TestCheckpoint(p, p.Checkpoints()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func mustParse(tb testing.TB, id, text string) *workload.Workload {
+	tb.Helper()
+	w, err := workload.Parse(id, text)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return w
+}

@@ -1,0 +1,192 @@
+// Command b3 runs full bounded black-box crash-testing campaigns and
+// regenerates the paper's evaluation tables.
+//
+//	b3 -find-new-bugs                       # Table 5: campaign at 4.16
+//	b3 -table4                              # Table 4 workload counts
+//	b3 -profile seq-2 -fs logfs -sample 10  # sampled seq-2 sweep
+//	b3 -reproduce                           # appendix: 24 known bugs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"b3"
+	"b3/internal/crashmonkey"
+	"b3/internal/workload"
+)
+
+func main() {
+	var (
+		findNew   = flag.Bool("find-new-bugs", false, "run the Table 5 campaign: find the new bugs at kernel 4.16")
+		table4    = flag.Bool("table4", false, "count the Table 4 workload sets (slow: full enumeration)")
+		reproduce = flag.Bool("reproduce", false, "reproduce the 24 known bugs on their reported kernels (appendix 9.1)")
+		profile   = flag.String("profile", "", "run one campaign profile: seq-1 | seq-2 | seq-3-*")
+		fsName    = flag.String("fs", "logfs", "file system under test")
+		sample    = flag.Int64("sample", 1, "test every n-th workload")
+		maxW      = flag.Int64("max", 0, "stop generation after this many workloads")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		dedup     = flag.Bool("dedup-known", true, "suppress bug groups matching the known-bug database (§5.3)")
+	)
+	flag.Parse()
+
+	switch {
+	case *table4:
+		runTable4(*sample, *maxW)
+	case *findNew:
+		runFindNewBugs(*workers, *sample)
+	case *reproduce:
+		runReproduce()
+	case *profile != "":
+		runProfile(*profile, *fsName, *workers, *sample, *maxW, *dedup)
+	default:
+		fmt.Fprintln(os.Stderr, "b3: choose one of -find-new-bugs, -table4, -reproduce, -profile (see -h)")
+		os.Exit(2)
+	}
+}
+
+func runTable4(sample, maxW int64) {
+	fmt.Println("Table 4: Workloads tested (counts from this implementation; see EXPERIMENTS.md)")
+	fmt.Printf("%-18s %12s %10s\n", "sequence type", "# workloads", "gen time")
+	var total int64
+	start := time.Now()
+	for _, p := range b3.Profiles() {
+		bounds, err := b3.ProfileBounds(p)
+		if err != nil {
+			fatal(err)
+		}
+		pStart := time.Now()
+		var n int64
+		n, err = b3.GenerateWorkloads(bounds, func(w *b3.Workload) bool {
+			return maxW == 0 || n < maxW
+		})
+		if err != nil {
+			fatal(err)
+		}
+		total += n
+		fmt.Printf("%-18s %12d %9.1fs\n", p, n, time.Since(pStart).Seconds())
+	}
+	fmt.Printf("%-18s %12d %9.1fs\n", "Total", total, time.Since(start).Seconds())
+}
+
+func runFindNewBugs(workers int, sample int64) {
+	fmt.Println("=== Table 5 campaign: seq-1 + seq-2 on every file system at kernel 4.16")
+	fmt.Println("(previously reported bugs patched; undiscovered bugs live)")
+	found := map[string]bool{}
+	for _, fsName := range b3.FSNames() {
+		fs, err := b3.NewFS(fsName, b3.CampaignConfig())
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range []b3.ProfileName{b3.Seq1, b3.Seq2} {
+			stats, err := b3.RunCampaign(b3.Campaign{
+				FS: fs, Profile: p, Workers: workers,
+				SampleEvery: sample, DedupKnown: true,
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\n--- %s %s ---\n%s\n", fsName, p, stats.Summary())
+			attributeBugs(fs, stats, found)
+		}
+	}
+	fmt.Println()
+	fmt.Print(b3.Table5(found))
+}
+
+// attributeBugs marks which Table 5 mechanisms the campaign's groups
+// exercise, by re-running each group exemplar with single mechanisms.
+func attributeBugs(fs b3.FileSystem, stats *b3.CampaignStats, found map[string]bool) {
+	for _, g := range stats.FreshGroups {
+		w, err := workload.Parse("exemplar", g.Exemplar.Workload)
+		if err != nil {
+			continue
+		}
+		for _, bug := range b3.NewBugs() {
+			if bug.FS != fs.Name() || found[bug.ID] {
+				continue
+			}
+			single, err := b3.NewFS(fs.Name(), b3.FSConfig{Bugs: map[string]bool{bug.ID: true}})
+			if err != nil {
+				continue
+			}
+			res, err := (&crashmonkey.Monkey{FS: single}).Run(w)
+			if err == nil && res.Buggy() {
+				found[bug.ID] = true
+			}
+		}
+	}
+}
+
+func runReproduce() {
+	fmt.Println("=== Reproducing the 24 studied bugs on their reported kernels (appendix 9.1)")
+	ok, fail := 0, 0
+	for _, entry := range b3.StudyCorpus() {
+		if entry.New || entry.OutOfBounds {
+			continue
+		}
+		w, err := b3.ParseWorkload(entry.ID, entry.Text)
+		if err != nil {
+			fatal(err)
+		}
+		for _, variant := range entry.Variants {
+			var reported b3.Version
+			for _, id := range variant.Bugs {
+				for _, bug := range b3.AllBugs() {
+					if bug.ID == id {
+						reported = bug.Reported
+					}
+				}
+			}
+			cfg := b3.FSConfig{Version: reported}
+			fs, err := b3.NewFS(variant.FS, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			res, err := b3.TestWorkload(fs, w)
+			if err != nil {
+				fatal(err)
+			}
+			status := "NOT REPRODUCED"
+			if res.Buggy() {
+				status = "reproduced"
+				ok++
+			} else {
+				fail++
+			}
+			fmt.Printf("%-4s on %-10s @ kernel %-6s: %-14s (%s)\n",
+				entry.ID, variant.FS, reported, status, entry.Title)
+		}
+	}
+	for _, entry := range b3.StudyCorpus() {
+		if entry.OutOfBounds {
+			fmt.Printf("%-4s out of B3's bounds (%s)\n", entry.ID, entry.Title)
+		}
+	}
+	fmt.Printf("\n%d bug reports reproduced, %d failed; 2 of 26 studied bugs out of bounds (as in the paper)\n", ok, fail)
+	if fail > 0 {
+		os.Exit(1)
+	}
+}
+
+func runProfile(profile, fsName string, workers int, sample, maxW int64, dedup bool) {
+	fs, err := b3.NewFS(fsName, b3.CampaignConfig())
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := b3.RunCampaign(b3.Campaign{
+		FS: fs, Profile: b3.ProfileName(profile), Workers: workers,
+		SampleEvery: sample, MaxWorkloads: maxW, DedupKnown: dedup,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(stats.Summary())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "b3:", err)
+	os.Exit(1)
+}

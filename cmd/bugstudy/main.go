@@ -1,0 +1,52 @@
+// Command bugstudy prints the paper's §3 study tables from the encoded
+// corpus: Table 1 (the 26 studied bugs by consequence, kernel, file system
+// and op count) and Table 2 (five example bugs). With -workloads it dumps
+// the full appendix workload corpus.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"b3"
+)
+
+func main() {
+	var (
+		examples  = flag.Bool("examples", false, "print only Table 2")
+		workloads = flag.Bool("workloads", false, "dump the appendix workload corpus")
+		table5    = flag.Bool("table5", false, "print Table 5 (new bugs)")
+	)
+	flag.Parse()
+
+	switch {
+	case *examples:
+		fmt.Print(b3.Table2())
+	case *table5:
+		fmt.Print(b3.Table5(nil))
+	case *workloads:
+		for _, entry := range b3.StudyCorpus() {
+			kind := "appendix 9.1"
+			if entry.New {
+				kind = "appendix 9.2 (new)"
+			}
+			if entry.OutOfBounds {
+				fmt.Printf("--- %s [%s]: %s (out of bounds, no workload)\n\n", entry.ID, kind, entry.Title)
+				continue
+			}
+			var fses []string
+			for _, v := range entry.Variants {
+				fses = append(fses, v.FS)
+			}
+			fmt.Printf("--- %s [%s] on %s: %s\n%s\n",
+				entry.ID, kind, strings.Join(fses, ", "), entry.Title,
+				strings.TrimSpace(entry.Text))
+			fmt.Println()
+		}
+	default:
+		fmt.Print(b3.Table1())
+		fmt.Println()
+		fmt.Print(b3.Table2())
+	}
+}

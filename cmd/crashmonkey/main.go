@@ -1,0 +1,103 @@
+// Command crashmonkey tests one workload against one file system: it
+// profiles the workload, simulates a crash at the final persistence point
+// (or every persistence point with -all), and prints the AutoChecker's bug
+// report (§5.1).
+//
+//	crashmonkey -fs logfs -kernel 4.16 workload.txt
+//	echo 'creat /foo
+//	fsync /foo' | crashmonkey -fs logfs -new-bugs -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"b3"
+	"b3/internal/crashmonkey"
+)
+
+func main() {
+	var (
+		fsName  = flag.String("fs", "logfs", "file system under test: logfs | journalfs | f2fsim | fscqsim")
+		kernel  = flag.String("kernel", "4.16", "simulated kernel version")
+		fixed   = flag.Bool("fixed", false, "disable every bug mechanism")
+		newOnly = flag.Bool("new-bugs", false, "activate only the Table 5 mechanisms")
+		all     = flag.Bool("all", false, "test every persistence point, not only the last")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: crashmonkey [flags] <workload-file | ->")
+		os.Exit(2)
+	}
+
+	text, err := readWorkload(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	w, err := b3.ParseWorkload(flag.Arg(0), text)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := b3.FSConfig{Fixed: *fixed, NewBugsOnly: *newOnly}
+	if !*fixed && !*newOnly {
+		cfg, err = b3.AtKernel(*kernel)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fs, err := b3.NewFS(*fsName, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	mk := &crashmonkey.Monkey{FS: fs}
+	var results []*crashmonkey.Result
+	if *all {
+		results, err = mk.RunAll(w)
+	} else {
+		var res *crashmonkey.Result
+		res, err = mk.Run(w)
+		results = append(results, res)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	buggy := false
+	for _, res := range results {
+		fmt.Printf("crash point %d on %s:", res.Checkpoint, res.FSName)
+		if !res.Buggy() {
+			fmt.Println(" consistent")
+			continue
+		}
+		buggy = true
+		fmt.Println()
+		if !res.Mountable {
+			fmt.Printf("  file system UNMOUNTABLE (fsck run: %v, repaired: %v)\n",
+				res.FsckRun, res.FsckRepaired)
+		}
+		for _, f := range res.Findings {
+			fmt.Printf("  %s\n", f)
+		}
+	}
+	if buggy {
+		os.Exit(1)
+	}
+}
+
+func readWorkload(path string) (string, error) {
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(path)
+	return string(data), err
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "crashmonkey:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+package blockdev
+
+import "fmt"
+
+// RecordKind distinguishes entries in the recorded IO stream.
+type RecordKind uint8
+
+const (
+	// RecWrite is a block write issued by the file system.
+	RecWrite RecordKind = iota
+	// RecFlush is a cache-flush barrier.
+	RecFlush
+	// RecCheckpoint marks the completion of a persistence operation
+	// (fsync/fdatasync/msync/sync). It corresponds to the paper's "empty
+	// block IO request with a special flag" that correlates persistence
+	// operations with the low-level block IO stream (§5.1).
+	RecCheckpoint
+)
+
+// Record is one entry of the profiled IO stream.
+type Record struct {
+	Seq   int64
+	Kind  RecordKind
+	Block int64  // valid for RecWrite
+	Data  []byte // valid for RecWrite; owned by the record
+	// Checkpoint is the 1-based persistence-point number, valid for
+	// RecCheckpoint.
+	Checkpoint int
+}
+
+// Recorder is the wrapper block device: it forwards IO to an underlying
+// device while recording every write, flush, and checkpoint with a global
+// sequence number.
+type Recorder struct {
+	under       Device
+	log         []Record
+	seq         int64
+	checkpoints int
+}
+
+// NewRecorder wraps under with IO recording.
+func NewRecorder(under Device) *Recorder {
+	return &Recorder{under: under}
+}
+
+// ReadBlock implements Device (reads are not recorded; crash states are a
+// function of writes only).
+func (r *Recorder) ReadBlock(n int64) ([]byte, error) { return r.under.ReadBlock(n) }
+
+// WriteBlock implements Device, recording the write.
+func (r *Recorder) WriteBlock(n int64, data []byte) error {
+	if err := r.under.WriteBlock(n, data); err != nil {
+		return err
+	}
+	d := make([]byte, len(data))
+	copy(d, data)
+	r.seq++
+	r.log = append(r.log, Record{Seq: r.seq, Kind: RecWrite, Block: n, Data: d})
+	return nil
+}
+
+// Flush implements Device, recording the barrier.
+func (r *Recorder) Flush() error {
+	if err := r.under.Flush(); err != nil {
+		return err
+	}
+	r.seq++
+	r.log = append(r.log, Record{Seq: r.seq, Kind: RecFlush})
+	return nil
+}
+
+// NumBlocks implements Device.
+func (r *Recorder) NumBlocks() int64 { return r.under.NumBlocks() }
+
+// Checkpoint inserts a persistence-point marker into the stream and returns
+// its 1-based number.
+func (r *Recorder) Checkpoint() int {
+	r.checkpoints++
+	r.seq++
+	r.log = append(r.log, Record{Seq: r.seq, Kind: RecCheckpoint, Checkpoint: r.checkpoints})
+	return r.checkpoints
+}
+
+// Checkpoints returns how many persistence points were recorded.
+func (r *Recorder) Checkpoints() int { return r.checkpoints }
+
+// Log returns the recorded stream. The caller must not modify it.
+func (r *Recorder) Log() []Record { return r.log }
+
+// WritesRecorded reports the number of write records (profiling statistics).
+func (r *Recorder) WritesRecorded() int {
+	n := 0
+	for _, rec := range r.log {
+		if rec.Kind == RecWrite {
+			n++
+		}
+	}
+	return n
+}
+
+// ReplayToCheckpoint applies every recorded write with sequence number up to
+// and including checkpoint cp onto dst. This constructs the paper's crash
+// state: "the state of the storage just after the persistence-related call
+// completed on the storage device".
+func ReplayToCheckpoint(dst Device, log []Record, cp int) error {
+	if cp < 1 {
+		return fmt.Errorf("blockdev: invalid checkpoint %d", cp)
+	}
+	for _, rec := range log {
+		switch rec.Kind {
+		case RecWrite:
+			if err := dst.WriteBlock(rec.Block, rec.Data); err != nil {
+				return fmt.Errorf("blockdev: replay write seq %d: %w", rec.Seq, err)
+			}
+		case RecCheckpoint:
+			if rec.Checkpoint == cp {
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("blockdev: checkpoint %d not found in IO log", cp)
+}
+
+// ReplayPrefix applies the first n write records onto dst, ignoring
+// checkpoints. This is the mid-operation crash-state extension (§4.4
+// limitation 2): it lets a caller explore states where only a prefix of the
+// IO between persistence points reached the disk.
+func ReplayPrefix(dst Device, log []Record, n int) (applied int, err error) {
+	for _, rec := range log {
+		if rec.Kind != RecWrite {
+			continue
+		}
+		if applied >= n {
+			return applied, nil
+		}
+		if err := dst.WriteBlock(rec.Block, rec.Data); err != nil {
+			return applied, fmt.Errorf("blockdev: replay write seq %d: %w", rec.Seq, err)
+		}
+		applied++
+	}
+	return applied, nil
+}
+
+// CountWritesBetweenCheckpoints reports, for each checkpoint k (1-based
+// index k-1 in the result), how many writes occurred after checkpoint k-1 up
+// to checkpoint k. Used by the ablation benchmarks to quantify how much
+// larger the crash-state space would be with mid-operation crashes (the
+// paper's 2^n argument, §4.1).
+func CountWritesBetweenCheckpoints(log []Record) []int {
+	var out []int
+	n := 0
+	for _, rec := range log {
+		switch rec.Kind {
+		case RecWrite:
+			n++
+		case RecCheckpoint:
+			out = append(out, n)
+			n = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+package bugs
+
+import "testing"
+
+func TestParseVersion(t *testing.T) {
+	cases := map[string]Version{
+		"4.16":  {4, 16, 0},
+		"3.12":  {3, 12, 0},
+		"4.1.1": {4, 1, 1},
+	}
+	for s, want := range cases {
+		got, err := ParseVersion(s)
+		if err != nil || got != want {
+			t.Errorf("ParseVersion(%q) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("String() = %q, want %q", got.String(), s)
+		}
+	}
+	for _, bad := range []string{"", "4", "a.b", "4.16.1.1", "-1.2"} {
+		if _, err := ParseVersion(bad); err == nil {
+			t.Errorf("ParseVersion(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestVersionCompare(t *testing.T) {
+	ordered := []Version{{3, 12, 0}, {3, 13, 0}, {3, 16, 0}, {4, 1, 1}, {4, 4, 0}, {4, 15, 0}, {4, 16, 0}}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := sign(i - j)
+			if got != want {
+				t.Errorf("%v.Compare(%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+	if !Latest.AtLeast(MustVersion("4.15")) || Latest.Before(MustVersion("4.16")) {
+		t.Fatal("Latest comparisons wrong")
+	}
+}
+
+func TestActiveAt(t *testing.T) {
+	b := Bug{Introduced: v("3.13"), FixedIn: v("4.4")}
+	if b.ActiveAt(v("3.12")) {
+		t.Error("active before introduction")
+	}
+	if !b.ActiveAt(v("3.13")) || !b.ActiveAt(v("4.1.1")) {
+		t.Error("inactive during live range")
+	}
+	if b.ActiveAt(v("4.4")) || b.ActiveAt(v("4.16")) {
+		t.Error("active at/after fix")
+	}
+	unfixed := Bug{Introduced: v("3.13")}
+	if !unfixed.ActiveAt(Latest) {
+		t.Error("unfixed bug must be active at latest")
+	}
+	oob := Bug{OutOfBounds: true}
+	if oob.ActiveAt(Latest) {
+		t.Error("out-of-bounds bugs have no mechanism")
+	}
+}
+
+// TestStudyCorpusShape verifies the registry reproduces the paper's §3 study:
+// 26 unique studied bugs, 28 bug reports (two bugs on two file systems), and
+// exactly the Table 1 marginals.
+func TestStudyCorpusShape(t *testing.T) {
+	studied := StudiedBugs()
+	if len(studied) != 28 {
+		t.Fatalf("studied bug reports = %d, want 28", len(studied))
+	}
+	uniqueWorkloads := map[string]bool{}
+	dualFS := 0
+	seen := map[string][]string{}
+	for _, b := range studied {
+		if len(b.Workloads) > 0 {
+			seen[b.Workloads[0]] = append(seen[b.Workloads[0]], b.FS)
+		} else {
+			uniqueWorkloads[b.ID] = true // out-of-bounds: no workload
+		}
+	}
+	for w, fss := range seen {
+		uniqueWorkloads[w] = true
+		if len(fss) == 2 {
+			dualFS++
+		}
+	}
+	if len(uniqueWorkloads) != 26 {
+		t.Fatalf("unique studied bugs = %d, want 26", len(uniqueWorkloads))
+	}
+	if dualFS != 2 {
+		t.Fatalf("bugs on two file systems = %d, want 2", dualFS)
+	}
+
+	// Table 1: consequence marginal.
+	byBucket := map[Bucket]int{}
+	for _, b := range studied {
+		byBucket[b.TableBucket]++
+	}
+	if byBucket[BucketCorruption] != 19 || byBucket[BucketDataInconsistency] != 6 || byBucket[BucketUnmountable] != 3 {
+		t.Fatalf("Table 1 consequences = %v, want 19/6/3", byBucket)
+	}
+
+	// Table 1: kernel-version marginal.
+	byKernel := map[string]int{}
+	for _, b := range studied {
+		byKernel[b.Reported.String()]++
+	}
+	want := map[string]int{"3.12": 3, "3.13": 9, "3.16": 1, "4.1.1": 2, "4.4": 9, "4.15": 3, "4.16": 1}
+	for k, n := range want {
+		if byKernel[k] != n {
+			t.Fatalf("Table 1 kernel %s = %d, want %d (all: %v)", k, byKernel[k], n, byKernel)
+		}
+	}
+
+	// Table 1: file-system marginal.
+	byFS := map[string]int{}
+	for _, b := range studied {
+		byFS[b.FS]++
+	}
+	if byFS["journalfs"] != 2 || byFS["f2fsim"] != 2 || byFS["logfs"] != 24 {
+		t.Fatalf("Table 1 file systems = %v, want ext4:2 f2fs:2 btrfs:24", byFS)
+	}
+
+	// Table 1: #ops marginal over unique bugs.
+	opsByWorkload := map[string]int{}
+	for _, b := range studied {
+		key := b.ID
+		if len(b.Workloads) > 0 {
+			key = b.Workloads[0]
+		}
+		opsByWorkload[key] = b.NumOps
+	}
+	byOps := map[int]int{}
+	for _, n := range opsByWorkload {
+		byOps[n]++
+	}
+	if byOps[1] != 3 || byOps[2] != 14 || byOps[3] != 9 {
+		t.Fatalf("Table 1 #ops = %v, want 1:3 2:14 3:9", byOps)
+	}
+}
+
+// TestNewBugsShape verifies Table 5: 11 new bugs, 8 btrfs + 2 F2FS + 1 FSCQ,
+// with seven of the btrfs bugs present since 2014 (kernel 3.13), all active
+// (unfixed) at kernel 4.16.
+func TestNewBugsShape(t *testing.T) {
+	nb := NewBugs()
+	if len(nb) != 11 {
+		t.Fatalf("new bugs = %d, want 11", len(nb))
+	}
+	byFS := map[string]int{}
+	since2014 := 0
+	for _, b := range nb {
+		byFS[b.FS]++
+		if !b.ActiveAt(Latest) {
+			t.Errorf("new bug %s not active at 4.16", b.ID)
+		}
+		if !b.FixedIn.IsZero() {
+			t.Errorf("new bug %s has a FixedIn version", b.ID)
+		}
+		if b.FS == "logfs" && b.Introduced == v("3.13") {
+			since2014++
+		}
+	}
+	if byFS["logfs"] != 8 || byFS["f2fsim"] != 2 || byFS["fscqsim"] != 1 {
+		t.Fatalf("new bugs by FS = %v, want btrfs:8 f2fs:2 fscq:1", byFS)
+	}
+	if since2014 != 7 {
+		t.Fatalf("btrfs new bugs since 2014 = %d, want 7", since2014)
+	}
+	// Table 5 #ops column: three single-op bugs on Linux file systems
+	// (§6.2 "three bugs were found by seq-1 workloads") plus the
+	// single-op FSCQ bug.
+	singleOpLinux, singleOpAll := 0, 0
+	for _, b := range nb {
+		if b.NumOps == 1 {
+			singleOpAll++
+			if b.FS != "fscqsim" {
+				singleOpLinux++
+			}
+		}
+	}
+	if singleOpLinux != 3 || singleOpAll != 4 {
+		t.Fatalf("single-op new bugs = %d linux / %d total, want 3/4", singleOpLinux, singleOpAll)
+	}
+}
+
+func TestRegistryConsistency(t *testing.T) {
+	ids := map[string]bool{}
+	for _, b := range All() {
+		if ids[b.ID] {
+			t.Errorf("duplicate bug ID %s", b.ID)
+		}
+		ids[b.ID] = true
+		if b.FS == "" || b.Title == "" {
+			t.Errorf("bug %s missing FS or title", b.ID)
+		}
+		if !b.OutOfBounds && len(b.Workloads) == 0 {
+			t.Errorf("in-bounds bug %s has no trigger workload", b.ID)
+		}
+		if !b.Reported.IsZero() && !b.FixedIn.IsZero() && !b.FixedIn.AtLeast(b.Reported) {
+			t.Errorf("bug %s fixed (%v) before reported (%v)", b.ID, b.FixedIn, b.Reported)
+		}
+		if got, ok := ByID(b.ID); !ok || got.ID != b.ID {
+			t.Errorf("ByID(%s) failed", b.ID)
+		}
+	}
+	// Reproduced bugs must be fixed by their fix version and active at report.
+	for _, b := range StudiedBugs() {
+		if b.OutOfBounds {
+			continue
+		}
+		if !b.ActiveAt(b.Reported) {
+			t.Errorf("studied bug %s not active at its reported kernel %v", b.ID, b.Reported)
+		}
+		if b.ActiveAt(b.FixedIn) {
+			t.Errorf("studied bug %s still active at its fix version %v", b.ID, b.FixedIn)
+		}
+	}
+}
+
+func TestActiveSet(t *testing.T) {
+	// At 4.16 the logfs active set must be exactly the 8 new btrfs bugs
+	// plus the studied bugs not yet fixed (W3, W5 fixed in 4.16 → inactive;
+	// W6 fixed in 4.17 → active).
+	act := ActiveSet("logfs", Latest)
+	if !act["btrfs-objectid-not-restored"] {
+		t.Error("W6 mechanism should still be active at 4.16")
+	}
+	if act["btrfs-link-unlink-replay-fail"] {
+		t.Error("W5 mechanism should be fixed at 4.16")
+	}
+	for _, b := range NewBugs() {
+		if b.FS == "logfs" && !act[b.ID] {
+			t.Errorf("new bug %s missing from 4.16 active set", b.ID)
+		}
+	}
+	// At 3.12, 2014-era new bugs are not yet introduced.
+	old := ActiveSet("logfs", v("3.12"))
+	if old["btrfs-rename-atomicity-target-lost"] {
+		t.Error("2014 bug active at 3.12")
+	}
+	if !old["btrfs-fsync-renamed-file-not-logged"] {
+		t.Error("W22 should be active at 3.12")
+	}
+}

@@ -1,0 +1,109 @@
+package bugs
+
+// Consequence is the fine-grained observable effect of a crash-consistency
+// bug, as classified by the AutoChecker. Bucket maps it onto the paper's
+// Table 1 categories.
+type Consequence uint8
+
+const (
+	ConsequenceNone Consequence = iota
+	// FileMissing: an explicitly persisted file or directory is gone.
+	FileMissing
+	// DirEntryMissing: a persisted directory entry (name) is gone even
+	// though the inode may survive elsewhere.
+	DirEntryMissing
+	// FileInBothLocations: a rename left the file visible at both the old
+	// and the new name (atomicity broken, new bug #2/#9 shape).
+	FileInBothLocations
+	// RenameBothLost: a rename left the file at neither name (atomicity
+	// broken, new bug #1 shape).
+	RenameBothLost
+	// DataLoss: persisted file content is missing or wrong.
+	DataLoss
+	// WrongSize: the file recovered to an incorrect size.
+	WrongSize
+	// BlocksLost: allocated blocks (st_blocks) were lost.
+	BlocksLost
+	// HoleNotPersisted: a punched hole did not survive the crash.
+	HoleNotPersisted
+	// XattrInconsistent: extended attributes resurrected or lost.
+	XattrInconsistent
+	// EmptySymlink: a persisted symlink recovered with an empty target.
+	EmptySymlink
+	// WrongLinkCount: the link count is inconsistent with the namespace.
+	WrongLinkCount
+	// Unmountable: the file system cannot be mounted after the crash.
+	Unmountable
+	// UnremovableDir: a directory cannot be removed even once emptied.
+	UnremovableDir
+	// CannotCreateFiles: new files cannot be created after recovery.
+	CannotCreateFiles
+	// WrongLocation: a persisted file ended up under a different parent.
+	WrongLocation
+	// ResurrectedEntry: a persisted deletion came back after the crash.
+	ResurrectedEntry
+)
+
+var consequenceNames = map[Consequence]string{
+	ConsequenceNone:     "none",
+	FileMissing:         "persisted file missing",
+	DirEntryMissing:     "directory entry missing",
+	FileInBothLocations: "file present in both rename locations",
+	RenameBothLost:      "rename atomicity broken (file lost)",
+	DataLoss:            "persisted data lost",
+	WrongSize:           "file recovered to incorrect size",
+	BlocksLost:          "allocated blocks lost",
+	HoleNotPersisted:    "punched hole not persisted",
+	XattrInconsistent:   "extended attributes inconsistent",
+	EmptySymlink:        "empty symlink",
+	WrongLinkCount:      "incorrect link count",
+	Unmountable:         "file system unmountable",
+	UnremovableDir:      "directory un-removable",
+	CannotCreateFiles:   "unable to create new files",
+	WrongLocation:       "persisted file in wrong directory",
+	ResurrectedEntry:    "persisted deletion resurrected",
+}
+
+// String returns the human-readable consequence.
+func (c Consequence) String() string {
+	if s, ok := consequenceNames[c]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Bucket is a Table 1 consequence category.
+type Bucket uint8
+
+const (
+	BucketCorruption Bucket = iota
+	BucketDataInconsistency
+	BucketUnmountable
+)
+
+// String returns the Table 1 row label.
+func (b Bucket) String() string {
+	switch b {
+	case BucketCorruption:
+		return "Corruption"
+	case BucketDataInconsistency:
+		return "Data Inconsistency"
+	case BucketUnmountable:
+		return "Un-mountable file system"
+	}
+	return "unknown"
+}
+
+// Bucket maps the fine-grained consequence to the paper's Table 1 category:
+// namespace/metadata damage is "Corruption", wrong-but-consistent contents
+// are "Data Inconsistency", and mount failures are their own category.
+func (c Consequence) Bucket() Bucket {
+	switch c {
+	case Unmountable:
+		return BucketUnmountable
+	case DataLoss, WrongSize, BlocksLost, HoleNotPersisted, XattrInconsistent:
+		return BucketDataInconsistency
+	default:
+		return BucketCorruption
+	}
+}

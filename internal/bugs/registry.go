@@ -1,0 +1,283 @@
+package bugs
+
+import "sort"
+
+// Bug is one catalogued crash-consistency bug mechanism.
+type Bug struct {
+	// ID names the mechanism; file-system code consults the active set by
+	// this ID.
+	ID string
+	// FS is the simulated file system carrying the mechanism.
+	FS string
+	// Title is a one-line description (Table 2 / Table 5 style).
+	Title string
+	// Consequence is the observable effect.
+	Consequence Consequence
+	// Introduced is the first kernel version with the bug (zero = always).
+	Introduced Version
+	// Reported is the kernel version the bug was reported against (or the
+	// latest version B3 reproduced it on), per Table 1. Zero for new bugs.
+	Reported Version
+	// FixedIn is the first kernel version without the bug (zero = unfixed
+	// as of the paper's newest kernel, 4.16).
+	FixedIn Version
+	// Workloads lists appendix workload IDs that trigger the bug
+	// ("W1".."W24" for §9.1, "N1".."N11" for §9.2).
+	Workloads []string
+	// NumOps is the number of core file-system operations required
+	// (paper's counting, used for Table 1 / Table 5).
+	NumOps int
+	// New marks bugs discovered by CrashMonkey+ACE (Table 5).
+	New bool
+	// OutOfBounds marks the two studied bugs outside B3's bounds (§3:
+	// one needs drop_caches, one needs 3000 pre-existing hard links).
+	OutOfBounds bool
+	// Bucket is the Table 1 consequence category for this bug report.
+	TableBucket Bucket
+}
+
+// ActiveAt reports whether the mechanism is buggy at kernel version v.
+func (b Bug) ActiveAt(v Version) bool {
+	if b.OutOfBounds {
+		return false // no mechanism is modelled for out-of-bounds bugs
+	}
+	if !b.Introduced.IsZero() && v.Before(b.Introduced) {
+		return false
+	}
+	if !b.FixedIn.IsZero() && v.AtLeast(b.FixedIn) {
+		return false
+	}
+	return true
+}
+
+func v(s string) Version { return MustVersion(s) }
+
+// registry lists every modelled bug. Reported-kernel assignments and
+// fixed-version offsets are approximations chosen to reproduce the paper's
+// Table 1 distribution exactly (see DESIGN.md "Known deviations"); the
+// mechanisms and consequences follow the appendix workloads precisely.
+var registry = []Bug{
+	// ---- Reproduced bugs (appendix 9.1) -------------------------------
+	{ID: "btrfs-rename-old-file-lost-on-new-fsync", FS: "logfs",
+		Title:       "fsync of recreated file after rename loses the renamed file",
+		Consequence: FileMissing, Introduced: v("3.0"), FixedIn: v("4.15"),
+		Workloads: []string{"W1"}, Reported: v("4.4"), NumOps: 3, TableBucket: BucketCorruption},
+	{ID: "f2fs-rename-old-file-lost-on-new-fsync", FS: "f2fsim",
+		Title:       "fsync of recreated file after rename loses the renamed file",
+		Consequence: FileMissing, Introduced: v("3.8"), FixedIn: v("4.15"),
+		Workloads: []string{"W1"}, Reported: v("4.4"), NumOps: 3, TableBucket: BucketCorruption},
+	{ID: "ext4-fdatasync-falloc-keepsize", FS: "journalfs",
+		Title:       "fdatasync after fallocate KEEP_SIZE loses blocks beyond EOF",
+		Consequence: BlocksLost, Introduced: v("3.0"), FixedIn: v("4.15"),
+		Workloads: []string{"W2"}, Reported: v("4.4"), NumOps: 2, TableBucket: BucketDataInconsistency},
+	{ID: "f2fs-fdatasync-falloc-keepsize", FS: "f2fsim",
+		Title:       "fdatasync after fallocate KEEP_SIZE loses blocks beyond EOF",
+		Consequence: BlocksLost, Introduced: v("3.8"), FixedIn: v("4.15"),
+		Workloads: []string{"W2"}, Reported: v("4.4"), NumOps: 2, TableBucket: BucketDataInconsistency},
+	{ID: "btrfs-special-file-link-replay-fail", FS: "logfs",
+		Title:       "log replay fails after linking a special file and fsync",
+		Consequence: Unmountable, Introduced: v("3.0"), FixedIn: v("4.16"),
+		Workloads: []string{"W3"}, Reported: v("4.15"), NumOps: 3, TableBucket: BucketUnmountable},
+	{ID: "ext4-dwrite-disksize", FS: "journalfs",
+		Title:       "direct write past on-disk size does not update i_disksize",
+		Consequence: WrongSize, Introduced: v("3.0"), FixedIn: v("4.16"),
+		Workloads: []string{"W4"}, Reported: v("4.15"), NumOps: 2, TableBucket: BucketDataInconsistency},
+	{ID: "btrfs-link-unlink-replay-fail", FS: "logfs",
+		Title:       "log replay fails after unlink and link combination (Figure 1)",
+		Consequence: Unmountable, Introduced: v("3.0"), FixedIn: v("4.16"),
+		Workloads: []string{"W5"}, Reported: v("4.15"), NumOps: 3, TableBucket: BucketUnmountable},
+	{ID: "btrfs-objectid-not-restored", FS: "logfs",
+		Title:       "inode counter not advanced past replayed inodes (-EEXIST on create)",
+		Consequence: CannotCreateFiles, Introduced: v("3.0"), FixedIn: v("4.17"),
+		Workloads: []string{"W6"}, Reported: v("4.16"), NumOps: 1, TableBucket: BucketCorruption},
+	{ID: "btrfs-replay-drops-renamed-from-dir", FS: "logfs",
+		Title:       "file loss on log replay after renaming a file out of a logged dir",
+		Consequence: FileMissing, Introduced: v("3.0"), FixedIn: v("4.4"),
+		Workloads: []string{"W7"}, Reported: v("4.1.1"), NumOps: 3, TableBucket: BucketCorruption},
+	{ID: "btrfs-new-dir-replay-drops-renamed-subtree", FS: "logfs",
+		Title:       "fsync of recreated directory drops the renamed directory's contents",
+		Consequence: FileMissing, Introduced: v("3.0"), FixedIn: v("4.15"),
+		Workloads: []string{"W8"}, Reported: v("4.4"), NumOps: 3, TableBucket: BucketCorruption},
+	{ID: "btrfs-moved-entries-persist-in-both", FS: "logfs",
+		Title:       "log replay leaves moved entries in both source and destination",
+		Consequence: FileInBothLocations, Introduced: v("3.0"), FixedIn: v("4.15"),
+		Workloads: []string{"W9"}, Reported: v("4.4"), NumOps: 3, TableBucket: BucketCorruption},
+	{ID: "btrfs-dir-fsync-empty-symlink", FS: "logfs",
+		Title:       "fsync of parent dir persists an empty symlink",
+		Consequence: EmptySymlink, Introduced: v("3.0"), FixedIn: v("4.4"),
+		Workloads: []string{"W10"}, Reported: v("3.16"), NumOps: 1, TableBucket: BucketCorruption},
+	{ID: "btrfs-rename-fsync-loses-new-occupant", FS: "logfs",
+		Title:       "fsync after file rename loses the new occupant of the old name",
+		Consequence: FileMissing, Introduced: v("3.0"), FixedIn: v("4.15"),
+		Workloads: []string{"W11"}, Reported: v("4.4"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-overlapping-punch-holes-lost", FS: "logfs",
+		Title:       "only the first of overlapping punched holes survives fsync",
+		Consequence: HoleNotPersisted, Introduced: v("3.0"), FixedIn: v("4.4"),
+		Workloads: []string{"W12"}, Reported: v("3.13"), NumOps: 3, TableBucket: BucketDataInconsistency},
+	{ID: "btrfs-replay-add-accounting", FS: "logfs",
+		Title:       "stale directory entries after fsync log replay (link)",
+		Consequence: UnremovableDir, Introduced: v("3.0"), FixedIn: v("4.4"),
+		Workloads: []string{"W13"}, Reported: v("3.13"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-ranged-msync-second-lost", FS: "logfs",
+		Title:       "second ranged msync not persisted after a ranged fsync",
+		Consequence: DataLoss, Introduced: v("3.0"), FixedIn: v("3.16"),
+		Workloads: []string{"W14"}, Reported: v("3.12"), NumOps: 2, TableBucket: BucketDataInconsistency},
+	{ID: "btrfs-replay-del-accounting", FS: "logfs",
+		Title:       "metadata inconsistency after removing a linked file and fsync",
+		Consequence: UnremovableDir, Introduced: v("3.0"), FixedIn: v("4.1"),
+		Workloads: []string{"W15"}, Reported: v("3.13"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-fsync-after-link-data-lost", FS: "logfs",
+		Title:       "fsync loses file data after adding a hard link",
+		Consequence: DataLoss, Introduced: v("3.0"), FixedIn: v("4.1"),
+		Workloads: []string{"W16"}, Reported: v("3.13"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-partial-page-punch-not-logged", FS: "logfs",
+		Title:       "punching a hole in a partial page is not persisted by fsync",
+		Consequence: HoleNotPersisted, Introduced: v("3.0"), FixedIn: v("4.1"),
+		Workloads: []string{"W17"}, Reported: v("3.13"), NumOps: 1, TableBucket: BucketDataInconsistency},
+	{ID: "btrfs-xattr-delete-replay", FS: "logfs",
+		Title:       "removed xattrs resurrect on fsync log replay",
+		Consequence: XattrInconsistent, Introduced: v("3.0"), FixedIn: v("4.1"),
+		Workloads: []string{"W18"}, Reported: v("3.13"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-replay-unlink-accounting", FS: "logfs",
+		Title:       "fsync of file with multiple links leaves stale entries after unlink",
+		Consequence: UnremovableDir, Introduced: v("3.0"), FixedIn: v("4.4"),
+		Workloads: []string{"W19"}, Reported: v("4.1.1"), NumOps: 3, TableBucket: BucketCorruption},
+	{ID: "btrfs-dir-fsync-subtree-rename-not-logged", FS: "logfs",
+		Title:       "directory fsync after rename out of its subtree loses the rename",
+		Consequence: WrongLocation, Introduced: v("3.0"), FixedIn: v("4.15"),
+		Workloads: []string{"W20"}, Reported: v("4.4"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-dir-fsync-size-accounting", FS: "logfs",
+		Title:       "directory recovery from fsync log miscounts directory size",
+		Consequence: UnremovableDir, Introduced: v("3.0"), FixedIn: v("4.15"),
+		Workloads: []string{"W21"}, Reported: v("4.4"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-fsync-renamed-file-not-logged", FS: "logfs",
+		Title:       "fsync of a renamed file does not persist the rename",
+		Consequence: FileMissing, Introduced: v("3.0"), FixedIn: v("3.13"),
+		Workloads: []string{"W22"}, Reported: v("3.12"), NumOps: 2, TableBucket: BucketCorruption},
+	{ID: "btrfs-append-after-link-lost", FS: "logfs",
+		Title:       "fsync loses appended data written after adding a hard link",
+		Consequence: DataLoss, Introduced: v("3.0"), FixedIn: v("4.2"),
+		Workloads: []string{"W23"}, Reported: v("3.13"), NumOps: 3, TableBucket: BucketCorruption},
+	{ID: "btrfs-rename-into-dir-accounting", FS: "logfs",
+		Title:       "fsync on directory after rename into it leaves incorrect entries",
+		Consequence: UnremovableDir, Introduced: v("3.0"), FixedIn: v("3.13"),
+		Workloads: []string{"W24"}, Reported: v("3.12"), NumOps: 2, TableBucket: BucketCorruption},
+
+	// ---- Studied bugs outside B3's bounds (§3) ------------------------
+	{ID: "btrfs-dropcaches-required", FS: "logfs",
+		Title:       "bug requiring drop_caches during the workload (out of bounds)",
+		Consequence: Unmountable, Introduced: v("3.0"), FixedIn: v("3.14"),
+		Reported: v("3.13"), NumOps: 2, OutOfBounds: true, TableBucket: BucketUnmountable},
+	{ID: "btrfs-3000-hardlinks", FS: "logfs",
+		Title:       "bug requiring 3000 pre-existing hard links (out of bounds)",
+		Consequence: FileMissing, Introduced: v("3.0"), FixedIn: v("3.14"),
+		Reported: v("3.13"), NumOps: 2, OutOfBounds: true, TableBucket: BucketCorruption},
+
+	// ---- New bugs (Table 5 / appendix 9.2) ----------------------------
+	{ID: "btrfs-rename-atomicity-target-lost", FS: "logfs",
+		Title:       "rename atomicity broken: file disappears (Table 5 #1)",
+		Consequence: RenameBothLost, Introduced: v("3.13"),
+		Workloads: []string{"N1"}, NumOps: 3, New: true, TableBucket: BucketCorruption},
+	{ID: "btrfs-rename-atomicity-both-locations", FS: "logfs",
+		Title:       "rename atomicity broken: file in both locations (Table 5 #2)",
+		Consequence: FileInBothLocations, Introduced: v("4.15"),
+		Workloads: []string{"N2"}, NumOps: 3, New: true, TableBucket: BucketCorruption},
+	{ID: "btrfs-dir-fsync-new-subdir-items-missing", FS: "logfs",
+		Title:       "directory not persisted by fsync (Table 5 #3)",
+		Consequence: FileMissing, Introduced: v("3.13"),
+		Workloads: []string{"N3"}, NumOps: 3, New: true, TableBucket: BucketCorruption},
+	{ID: "btrfs-fsync-renamed-dir-not-logged", FS: "logfs",
+		Title:       "rename not persisted by fsync of the renamed directory (Table 5 #4)",
+		Consequence: WrongLocation, Introduced: v("3.13"),
+		Workloads: []string{"N4"}, NumOps: 3, New: true, TableBucket: BucketCorruption},
+	{ID: "btrfs-fsync-skips-new-name-already-logged", FS: "logfs",
+		Title:       "hard links not persisted by fsync (Table 5 #5)",
+		Consequence: DirEntryMissing, Introduced: v("3.13"),
+		Workloads: []string{"N5"}, NumOps: 2, New: true, TableBucket: BucketCorruption},
+	{ID: "btrfs-dir-fsync-skips-unlogged-children", FS: "logfs",
+		Title:       "directory entry missing after fsync on directory (Table 5 #6)",
+		Consequence: DirEntryMissing, Introduced: v("3.13"),
+		Workloads: []string{"N6"}, NumOps: 2, New: true, TableBucket: BucketCorruption},
+	{ID: "btrfs-fsync-logs-single-name", FS: "logfs",
+		Title:       "fsync on file does not persist all its paths (Table 5 #7)",
+		Consequence: DirEntryMissing, Introduced: v("3.13"),
+		Workloads: []string{"N7"}, NumOps: 1, New: true, TableBucket: BucketCorruption},
+	{ID: "btrfs-fsync-drops-beyond-eof-extents", FS: "logfs",
+		Title:       "allocated blocks lost after fsync (Table 5 #8)",
+		Consequence: BlocksLost, Introduced: v("3.13"),
+		Workloads: []string{"N8"}, NumOps: 1, New: true, TableBucket: BucketDataInconsistency},
+	{ID: "f2fs-zero-range-keep-size-size", FS: "f2fsim",
+		Title:       "file recovers to incorrect size after zero_range KEEP_SIZE (Table 5 #9)",
+		Consequence: WrongSize, Introduced: v("4.1"),
+		Workloads: []string{"N9"}, NumOps: 1, New: true, TableBucket: BucketDataInconsistency},
+	{ID: "f2fs-renamed-dir-child-old-loc", FS: "f2fsim",
+		Title:       "persisted file ends up in a different directory (Table 5 #10)",
+		Consequence: WrongLocation, Introduced: v("4.4"),
+		Workloads: []string{"N10"}, NumOps: 2, New: true, TableBucket: BucketCorruption},
+	{ID: "fscq-fdatasync-logged-writes", FS: "fscqsim",
+		Title:       "fdatasync data loss via unverified logged-writes optimization (Table 5 #11)",
+		Consequence: WrongSize, Introduced: v("4.15"),
+		Workloads: []string{"N11"}, NumOps: 1, New: true, TableBucket: BucketDataInconsistency},
+}
+
+// All returns every catalogued bug, sorted by ID.
+func All() []Bug {
+	out := append([]Bug(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up a bug.
+func ByID(id string) (Bug, bool) {
+	for _, b := range registry {
+		if b.ID == id {
+			return b, true
+		}
+	}
+	return Bug{}, false
+}
+
+// ForFS returns the bugs carried by the named file system.
+func ForFS(fs string) []Bug {
+	var out []Bug
+	for _, b := range registry {
+		if b.FS == fs {
+			out = append(out, b)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ActiveSet returns the IDs of mechanisms active for fs at version ver.
+func ActiveSet(fs string, ver Version) map[string]bool {
+	out := make(map[string]bool)
+	for _, b := range registry {
+		if b.FS == fs && b.ActiveAt(ver) {
+			out[b.ID] = true
+		}
+	}
+	return out
+}
+
+// NewBugs returns the Table 5 bugs in registry order.
+func NewBugs() []Bug {
+	var out []Bug
+	for _, b := range registry {
+		if b.New {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// StudiedBugs returns the §3 study corpus (reproduced + out-of-bounds).
+func StudiedBugs() []Bug {
+	var out []Bug
+	for _, b := range registry {
+		if !b.New {
+			out = append(out, b)
+		}
+	}
+	return out
+}

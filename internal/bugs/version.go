@@ -1,0 +1,91 @@
+// Package bugs catalogues every crash-consistency bug mechanism this
+// repository re-creates: the 26 bugs from the paper's five-year study (§3,
+// appendix 9.1) and the 11 new bugs CrashMonkey and ACE discovered (Table 5,
+// appendix 9.2).
+//
+// Each bug is a *mechanism*, not a canned workload: a registry entry names a
+// specific logging or recovery code path in one of the simulated file
+// systems, together with the kernel version range in which the buggy
+// behaviour existed. Mounting a file system "at" kernel version v activates
+// exactly the mechanisms live at v, reproducing the paper's seven-kernel
+// reproduction matrix.
+package bugs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Version is a Linux kernel version (major.minor.patch).
+type Version struct {
+	Major, Minor, Patch int
+}
+
+// ParseVersion parses "4.16" or "4.1.1" style version strings.
+func ParseVersion(s string) (Version, error) {
+	parts := strings.Split(strings.TrimSpace(s), ".")
+	if len(parts) < 2 || len(parts) > 3 {
+		return Version{}, fmt.Errorf("bugs: bad version %q", s)
+	}
+	var nums [3]int
+	for i, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return Version{}, fmt.Errorf("bugs: bad version %q", s)
+		}
+		nums[i] = n
+	}
+	return Version{Major: nums[0], Minor: nums[1], Patch: nums[2]}, nil
+}
+
+// MustVersion parses s, panicking on malformed input (registry literals).
+func MustVersion(s string) Version {
+	v, err := ParseVersion(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Compare returns -1, 0, or +1.
+func (v Version) Compare(o Version) int {
+	switch {
+	case v.Major != o.Major:
+		return sign(v.Major - o.Major)
+	case v.Minor != o.Minor:
+		return sign(v.Minor - o.Minor)
+	default:
+		return sign(v.Patch - o.Patch)
+	}
+}
+
+func sign(n int) int {
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+// Before reports v < o.
+func (v Version) Before(o Version) bool { return v.Compare(o) < 0 }
+
+// AtLeast reports v >= o.
+func (v Version) AtLeast(o Version) bool { return v.Compare(o) >= 0 }
+
+// IsZero reports whether v is the zero version.
+func (v Version) IsZero() bool { return v == Version{} }
+
+// String formats the version, omitting a zero patch.
+func (v Version) String() string {
+	if v.Patch == 0 {
+		return fmt.Sprintf("%d.%d", v.Major, v.Minor)
+	}
+	return fmt.Sprintf("%d.%d.%d", v.Major, v.Minor, v.Patch)
+}
+
+// Latest is the newest kernel the paper tests (Table 1: "4.16 (latest)").
+var Latest = Version{Major: 4, Minor: 16}

@@ -1,0 +1,250 @@
+// Package campaign orchestrates full B3 testing runs: ACE generates
+// workloads in a bounded space, a pool of workers drives CrashMonkey over
+// them (the in-process analogue of the paper's 780-VM cluster, §6.1), and
+// reports are grouped and deduplicated (§5.3). It also gathers the
+// performance and resource statistics of §6.3–§6.5.
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"b3/internal/ace"
+	"b3/internal/bugs"
+	"b3/internal/crashmonkey"
+	"b3/internal/filesys"
+	"b3/internal/report"
+	"b3/internal/workload"
+)
+
+// Config configures one campaign.
+type Config struct {
+	// FS is the file system under test (safe for concurrent mounts).
+	FS filesys.FileSystem
+	// Bounds is the ACE exploration space.
+	Bounds ace.Bounds
+	// Workers sets the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// MaxWorkloads stops generation after this many workloads (0 = all).
+	MaxWorkloads int64
+	// SampleEvery tests only every n-th workload (1 or 0 = all). The
+	// space is still enumerated fully, so generation counts are exact.
+	SampleEvery int64
+	// KnownDB deduplicates previously reported bugs (§5.3); may be nil.
+	KnownDB *report.KnownDB
+	// SkipWriteChecks speeds up large sweeps at the cost of missing
+	// un-removable-dir and cannot-create consequences.
+	SkipWriteChecks bool
+}
+
+// Stats is the campaign outcome.
+type Stats struct {
+	FSName    string
+	Generated int64
+	Tested    int64
+	Failed    int64
+	Errors    int64
+
+	Groups      []*report.Group
+	FreshGroups []*report.Group
+	KnownGroups []*report.Group
+
+	Elapsed     time.Duration
+	GenDur      time.Duration
+	ProfileDur  time.Duration
+	ReplayDur   time.Duration
+	CheckDur    time.Duration
+	MaxDirty    int64
+	TotalDirty  int64
+	DirtySample int64
+}
+
+// GenRate returns workloads generated per second (§6.4).
+func (s *Stats) GenRate() float64 {
+	if s.GenDur <= 0 {
+		return 0
+	}
+	return float64(s.Generated) / s.GenDur.Seconds()
+}
+
+// TestRate returns workloads tested per second.
+func (s *Stats) TestRate() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Tested) / s.Elapsed.Seconds()
+}
+
+// AvgDirtyBytes reports the mean COW overlay footprint per workload (§6.5).
+func (s *Stats) AvgDirtyBytes() int64 {
+	if s.DirtySample == 0 {
+		return 0
+	}
+	return s.TotalDirty / s.DirtySample
+}
+
+// Run executes the campaign.
+func Run(cfg Config) (*Stats, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sample := cfg.SampleEvery
+	if sample <= 0 {
+		sample = 1
+	}
+
+	stats := &Stats{FSName: cfg.FS.Name()}
+	start := time.Now()
+
+	type job struct {
+		w *workload.Workload
+	}
+	jobs := make(chan job, 4*workers)
+
+	var (
+		mu       sync.Mutex
+		reports  []*report.Report
+		tested   atomic.Int64
+		failed   atomic.Int64
+		errs     atomic.Int64
+		profNS   atomic.Int64
+		replayNS atomic.Int64
+		checkNS  atomic.Int64
+		dirtyTot atomic.Int64
+		dirtyN   atomic.Int64
+		dirtyMax atomic.Int64
+	)
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mk := &crashmonkey.Monkey{FS: cfg.FS, SkipWriteChecks: cfg.SkipWriteChecks}
+			for j := range jobs {
+				p, err := mk.ProfileWorkload(j.w)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				if p.Checkpoints() == 0 {
+					continue
+				}
+				res, err := mk.TestCheckpoint(p, p.Checkpoints())
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				tested.Add(1)
+				profNS.Add(int64(p.ProfileDur))
+				replayNS.Add(int64(res.ReplayDur))
+				checkNS.Add(int64(res.CheckDur))
+				dirtyTot.Add(p.DirtyBytes)
+				dirtyN.Add(1)
+				for {
+					cur := dirtyMax.Load()
+					if p.DirtyBytes <= cur || dirtyMax.CompareAndSwap(cur, p.DirtyBytes) {
+						break
+					}
+				}
+				if res.Buggy() {
+					failed.Add(1)
+					r := report.FromResult(res)
+					mu.Lock()
+					reports = append(reports, r)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	genStart := time.Now()
+	gen := ace.New(cfg.Bounds)
+	var genErr error
+	generated, genErr := gen.Generate(func(w *workload.Workload) bool {
+		if cfg.MaxWorkloads > 0 && stats.Generated >= cfg.MaxWorkloads {
+			return false
+		}
+		stats.Generated++
+		if stats.Generated%sample != 0 {
+			return true
+		}
+		// Workloads are mutated downstream only via their own structures;
+		// each emitted workload is freshly built, so hand it off directly.
+		jobs <- job{w: w}
+		return true
+	})
+	close(jobs)
+	wg.Wait()
+	stats.GenDur = time.Since(genStart)
+	if genErr != nil {
+		return nil, fmt.Errorf("campaign: generation: %w", genErr)
+	}
+	stats.Generated = generated
+
+	stats.Tested = tested.Load()
+	stats.Failed = failed.Load()
+	stats.Errors = errs.Load()
+	stats.ProfileDur = time.Duration(profNS.Load())
+	stats.ReplayDur = time.Duration(replayNS.Load())
+	stats.CheckDur = time.Duration(checkNS.Load())
+	stats.TotalDirty = dirtyTot.Load()
+	stats.DirtySample = dirtyN.Load()
+	stats.MaxDirty = dirtyMax.Load()
+	stats.Elapsed = time.Since(start)
+
+	stats.Groups = report.GroupReports(reports)
+	if cfg.KnownDB != nil {
+		stats.FreshGroups, stats.KnownGroups = cfg.KnownDB.Split(stats.Groups)
+	} else {
+		stats.FreshGroups = stats.Groups
+	}
+	return stats, nil
+}
+
+// Summary renders the campaign outcome in a Table 4/Table 5 flavoured form.
+func (s *Stats) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign on %s: %d workloads generated, %d tested, %d failing, %d groups",
+		s.FSName, s.Generated, s.Tested, s.Failed, len(s.Groups))
+	if len(s.KnownGroups) > 0 {
+		fmt.Fprintf(&sb, " (%d known, %d new)", len(s.KnownGroups), len(s.FreshGroups))
+	}
+	fmt.Fprintf(&sb, "\nelapsed %.2fs (gen %.0f/s, test %.0f/s)",
+		s.Elapsed.Seconds(), s.GenRate(), s.TestRate())
+	if s.Tested > 0 {
+		fmt.Fprintf(&sb, "\nper workload: profile %s, crash-state %s, check %s; avg dirty %d KiB",
+			time.Duration(int64(s.ProfileDur)/s.Tested),
+			time.Duration(int64(s.ReplayDur)/s.Tested),
+			time.Duration(int64(s.CheckDur)/s.Tested),
+			s.AvgDirtyBytes()/1024)
+	}
+	sb.WriteByte('\n')
+	for _, g := range s.FreshGroups {
+		sb.WriteByte('\n')
+		sb.WriteString(g.Render())
+	}
+	return sb.String()
+}
+
+// KnownEntry seeds one known bug for the §5.3 database.
+type KnownEntry struct {
+	Skeleton    string
+	Consequence bugs.Consequence
+	BugID       string
+}
+
+// SeedKnownDB builds the §5.3 known-bug database: each known bug is keyed
+// by the skeleton and consequence it produces.
+func SeedKnownDB(entries []KnownEntry) *report.KnownDB {
+	db := report.NewKnownDB()
+	for _, e := range entries {
+		db.Add(e.Skeleton, e.Consequence, e.BugID)
+	}
+	return db
+}

@@ -1,0 +1,248 @@
+// Package crashmonkey implements the CrashMonkey framework (§5.1): it
+// profiles a workload's block IO on a recording wrapper device, inserts
+// checkpoints at persistence points, constructs crash states by replaying
+// the recorded IO, captures oracles, and runs the AutoChecker — read checks
+// comparing persisted files/directories against the oracle, plus write
+// checks on a disposable copy-on-write fork of the crash state.
+package crashmonkey
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"b3/internal/blockdev"
+	"b3/internal/bugs"
+	"b3/internal/filesys"
+	"b3/internal/workload"
+)
+
+// DefaultDeviceBlocks sizes the test device at 100 MiB (Table 3: "start
+// with a clean file-system image of size 100MB").
+const DefaultDeviceBlocks = 25600
+
+// Monkey tests workloads against one file system.
+type Monkey struct {
+	// FS is the file system under test.
+	FS filesys.FileSystem
+	// DeviceBlocks overrides the device size (0 = DefaultDeviceBlocks).
+	DeviceBlocks int64
+	// SkipWriteChecks disables the destructive write checks.
+	SkipWriteChecks bool
+}
+
+// Profile is a recorded run of one workload: the base image, the IO log
+// with checkpoints, and the oracle expectation captured at each checkpoint.
+type Profile struct {
+	Workload     *workload.Workload
+	base         *blockdev.MemDisk
+	rec          *blockdev.Recorder
+	expectations []*Expectation
+	// ProfileDur is the wall time of the profiling phase (§6.3).
+	ProfileDur time.Duration
+	// DirtyBytes is the COW overlay footprint after the workload (§6.5).
+	DirtyBytes int64
+}
+
+// Checkpoints reports the number of persistence points recorded.
+func (p *Profile) Checkpoints() int { return p.rec.Checkpoints() }
+
+// WritesRecorded reports the number of block writes profiled.
+func (p *Profile) WritesRecorded() int { return p.rec.WritesRecorded() }
+
+// WritesBetweenCheckpoints supports the §4.1 crash-state-space ablation.
+func (p *Profile) WritesBetweenCheckpoints() []int {
+	return blockdev.CountWritesBetweenCheckpoints(p.rec.Log())
+}
+
+// PrefixState constructs the crash state after the first n recorded block
+// writes, ignoring persistence points — the mid-operation crash-state
+// extension the paper leaves open (§4.4 limitation 2). It returns the
+// device and how many writes were actually applied.
+func (p *Profile) PrefixState(n int) (blockdev.Device, int, error) {
+	crash := blockdev.NewSnapshot(p.base)
+	applied, err := blockdev.ReplayPrefix(crash, p.rec.Log(), n)
+	return crash, applied, err
+}
+
+// Result is the outcome of testing one crash state.
+type Result struct {
+	Workload   *workload.Workload
+	FSName     string
+	Checkpoint int
+	Mountable  bool
+	// FsckRun reports whether fsck was attempted after a mount failure,
+	// and FsckRepaired whether it claimed success (§5.1: "fsck is run only
+	// if the recovered file system is un-mountable").
+	FsckRun      bool
+	FsckRepaired bool
+	Findings     []Finding
+	ReplayDur    time.Duration
+	CheckDur     time.Duration
+}
+
+// Buggy reports whether any crash-consistency violation was found.
+func (r *Result) Buggy() bool { return len(r.Findings) > 0 }
+
+// Primary returns the most severe finding.
+func (r *Result) Primary() Finding {
+	if len(r.Findings) == 0 {
+		return Finding{}
+	}
+	best := r.Findings[0]
+	for _, f := range r.Findings[1:] {
+		if severity(f.Consequence) > severity(best.Consequence) {
+			best = f
+		}
+	}
+	return best
+}
+
+func severity(c bugs.Consequence) int {
+	order := []bugs.Consequence{
+		bugs.WrongLinkCount, bugs.EmptySymlink, bugs.XattrInconsistent,
+		bugs.HoleNotPersisted, bugs.BlocksLost, bugs.WrongSize,
+		bugs.ResurrectedEntry, bugs.DataLoss, bugs.DirEntryMissing,
+		bugs.WrongLocation, bugs.CannotCreateFiles, bugs.UnremovableDir,
+		bugs.FileMissing, bugs.FileInBothLocations, bugs.RenameBothLost,
+		bugs.Unmountable,
+	}
+	for i, oc := range order {
+		if oc == c {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ProfileWorkload runs the workload on a fresh file system over the
+// recording wrapper device, checkpointing after every persistence point and
+// snapshotting the oracle (§5.1 "Profiling workloads").
+func (mk *Monkey) ProfileWorkload(w *workload.Workload) (*Profile, error) {
+	start := time.Now()
+	blocks := mk.DeviceBlocks
+	if blocks == 0 {
+		blocks = DefaultDeviceBlocks
+	}
+	base := blockdev.NewMemDisk(blocks)
+	if err := mk.FS.Mkfs(base); err != nil {
+		return nil, fmt.Errorf("crashmonkey: mkfs: %w", err)
+	}
+	overlay := blockdev.NewSnapshot(base)
+	rec := blockdev.NewRecorder(overlay)
+	m, err := mk.FS.Mount(rec)
+	if err != nil {
+		return nil, fmt.Errorf("crashmonkey: mount: %w", err)
+	}
+	tracker := NewTracker(mk.FS.Guarantees())
+	p := &Profile{Workload: w, base: base, rec: rec}
+
+	for i, op := range w.Ops {
+		if err := workload.Apply(m, op, i); err != nil {
+			return nil, fmt.Errorf("crashmonkey: op %d (%s): %w", i, op, err)
+		}
+		if err := tracker.Apply(op, i); err != nil {
+			return nil, fmt.Errorf("crashmonkey: oracle op %d (%s): %w", i, op, err)
+		}
+		if op.Kind.IsPersistence() {
+			rec.Checkpoint()
+			p.expectations = append(p.expectations, tracker.Snapshot())
+		}
+	}
+	p.ProfileDur = time.Since(start)
+	p.DirtyBytes = overlay.DirtyBytes()
+	return p, nil
+}
+
+// TestCheckpoint constructs the crash state for checkpoint cp (1-based),
+// mounts it (running recovery), and checks consistency.
+func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
+	if cp < 1 || cp > len(p.expectations) {
+		return nil, fmt.Errorf("crashmonkey: checkpoint %d out of range (1..%d)", cp, len(p.expectations))
+	}
+	res := &Result{Workload: p.Workload, FSName: mk.FS.Name(), Checkpoint: cp}
+
+	replayStart := time.Now()
+	crash := blockdev.NewSnapshot(p.base)
+	if err := blockdev.ReplayToCheckpoint(crash, p.rec.Log(), cp); err != nil {
+		return nil, fmt.Errorf("crashmonkey: replay: %w", err)
+	}
+	res.ReplayDur = time.Since(replayStart)
+
+	checkStart := time.Now()
+	defer func() { res.CheckDur = time.Since(checkStart) }()
+
+	m, err := mk.FS.Mount(crash)
+	if err != nil {
+		if !errors.Is(err, filesys.ErrCorrupted) {
+			return nil, fmt.Errorf("crashmonkey: mount: %w", err)
+		}
+		res.Mountable = false
+		res.Findings = append(res.Findings, Finding{
+			Consequence: bugs.Unmountable,
+			Path:        "/",
+			Detail:      err.Error(),
+		})
+		// Last resort: fsck (§5.1).
+		res.FsckRun = true
+		repaired, ferr := mk.FS.Fsck(crash)
+		res.FsckRepaired = repaired && ferr == nil
+		return res, nil
+	}
+	res.Mountable = true
+
+	exp := p.expectations[cp-1]
+	readFindings, err := exp.CheckRead(m)
+	if err != nil {
+		return nil, fmt.Errorf("crashmonkey: read checks: %w", err)
+	}
+	res.Findings = append(res.Findings, readFindings...)
+
+	if !mk.SkipWriteChecks {
+		// Write checks are destructive: run them on a COW fork so the
+		// crash state itself is untouched.
+		fork := blockdev.NewSnapshot(crash)
+		fm, err := mk.FS.Mount(fork)
+		if err == nil {
+			res.Findings = append(res.Findings, CheckWrite(fm)...)
+		} else {
+			res.Findings = append(res.Findings, Finding{
+				Consequence: bugs.Unmountable,
+				Path:        "/",
+				Detail:      fmt.Sprintf("write-check remount failed: %v", err),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Run profiles the workload and tests its final crash state. Per the §5.3
+// testing strategy, earlier checkpoints of a seq-N workload are equivalent
+// to already-explored shorter workloads, so only the last one is tested.
+func (mk *Monkey) Run(w *workload.Workload) (*Result, error) {
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		return nil, err
+	}
+	if len(p.expectations) == 0 {
+		return nil, fmt.Errorf("crashmonkey: workload %s has no persistence point", w.ID)
+	}
+	return mk.TestCheckpoint(p, len(p.expectations))
+}
+
+// RunAll tests every checkpoint of the workload (the exhaustive variant).
+func (mk *Monkey) RunAll(w *workload.Workload) ([]*Result, error) {
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(p.expectations))
+	for cp := 1; cp <= len(p.expectations); cp++ {
+		r, err := mk.TestCheckpoint(p, cp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

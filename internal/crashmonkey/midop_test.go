@@ -1,0 +1,97 @@
+package crashmonkey
+
+import (
+	"testing"
+
+	"b3/internal/fs/f2fsim"
+	"b3/internal/fs/fscqsim"
+	"b3/internal/fs/journalfs"
+	"b3/internal/workload"
+)
+
+// TestMidOpCoreMechanismHolds validates the assumption B3 rests on (§4.4):
+// from every mid-operation crash state, each file system's core
+// crash-consistency mechanism (superblock flip + checksummed blobs) must
+// recover to a mountable image, possibly via fsck.
+func TestMidOpCoreMechanismHolds(t *testing.T) {
+	text := `
+mkdir /A
+creat /A/foo
+write /A/foo 0 16384
+fsync /A/foo
+link /A/foo /A/bar
+rename /A/foo /A/baz
+sync
+write /A/baz 4096 4096
+fsync /A/baz
+`
+	fses := []interface{ Name() string }{}
+	_ = fses
+	for _, fs := range []struct {
+		name string
+		m    *Monkey
+	}{
+		{"logfs", &Monkey{FS: logfsFixed()}},
+		{"journalfs", &Monkey{FS: journalfs.New(journalfs.Options{BugOverride: map[string]bool{}})}},
+		{"f2fsim", &Monkey{FS: f2fsim.New(f2fsim.Options{BugOverride: map[string]bool{}})}},
+		{"fscqsim", &Monkey{FS: fscqsim.New(fscqsim.Options{BugOverride: map[string]bool{}})}},
+	} {
+		w, err := workload.Parse("midop", text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := fs.m.ProfileWorkload(w)
+		if err != nil {
+			t.Fatalf("%s: %v", fs.name, err)
+		}
+		report, err := fs.m.ExploreMidOp(p)
+		if err != nil {
+			t.Fatalf("%s: %v", fs.name, err)
+		}
+		if report.States < 10 {
+			t.Fatalf("%s: only %d mid-op states explored", fs.name, report.States)
+		}
+		if !report.Clean() {
+			t.Fatalf("%s: core mechanism broken in states %v (of %d)",
+				fs.name, report.Broken, report.States)
+		}
+		t.Logf("%s: %d states, %d mountable, %d repaired",
+			fs.name, report.States, report.Mountable, report.Repaired)
+	}
+}
+
+// TestMidOpStateCountGrowth demonstrates the §4.1 argument quantitatively:
+// the mid-operation state space grows with every block write while the
+// persistence-point space stays linear in the number of fsyncs.
+func TestMidOpStateCountGrowth(t *testing.T) {
+	mk := &Monkey{FS: logfsFixed()}
+	short, err := mk.ProfileWorkload(mustParse(t, "s", "creat /a\nfsync /a\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := mk.ProfileWorkload(mustParse(t, "l", `
+creat /a
+write /a 0 65536
+fsync /a
+write /a 65536 65536
+fsync /a
+sync
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rShort, err := mk.ExploreMidOp(short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rLong, err := mk.ExploreMidOp(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rLong.States <= rShort.States {
+		t.Fatalf("mid-op space must grow with IO: %d vs %d", rLong.States, rShort.States)
+	}
+	if long.Checkpoints() != 3 {
+		t.Fatalf("persistence points stay linear: %d", long.Checkpoints())
+	}
+}

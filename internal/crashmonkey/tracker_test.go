@@ -1,0 +1,238 @@
+package crashmonkey
+
+import (
+	"testing"
+
+	"b3/internal/bugs"
+	"b3/internal/filesys"
+	"b3/internal/workload"
+)
+
+func strictGuarantees() filesys.Guarantees {
+	return filesys.Guarantees{
+		FsyncFilePersistsDentry:          true,
+		FsyncFilePersistsAllNames:        true,
+		FsyncFilePersistsRename:          true,
+		FsyncFilePersistsAncestorRenames: false,
+		FsyncDirPersistsEntries:          true,
+		FsyncDirPersistsChildInodes:      true,
+		FsyncDirPersistsSubtreeRenames:   true,
+		FsyncDragsReplacementDentry:      true,
+		FdatasyncPersistsSize:            true,
+		FdatasyncPersistsDentry:          true,
+		FdatasyncPersistsAllocBeyondEOF:  true,
+	}
+}
+
+func applyAll(t *testing.T, tr *Tracker, text string) {
+	t.Helper()
+	w, err := workload.Parse("t", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range w.Ops {
+		if err := tr.Apply(op, i); err != nil {
+			t.Fatalf("op %d (%s): %v", i, op, err)
+		}
+	}
+}
+
+func TestTrackerSyncPinsEverything(t *testing.T) {
+	tr := NewTracker(strictGuarantees())
+	applyAll(t, tr, `
+mkdir /A
+creat /A/foo
+write /A/foo 0 4096
+sync
+`)
+	e := tr.Snapshot()
+	required := 0
+	for _, b := range e.bindings {
+		if b.level > levelNone && !b.removed && !b.absent {
+			required++
+		}
+	}
+	if required != 2 {
+		t.Fatalf("required bindings = %d, want 2 (A and A/foo)", required)
+	}
+	for _, fe := range e.files {
+		if fe.level != levelFull || fe.modified {
+			t.Fatalf("sync must pin full state: %+v", fe)
+		}
+	}
+}
+
+func TestTrackerUnpersistedBindingImposesNothing(t *testing.T) {
+	tr := NewTracker(strictGuarantees())
+	applyAll(t, tr, `
+creat /keep
+sync
+creat /loose
+`)
+	e := tr.Snapshot()
+	for _, b := range e.bindings {
+		if b.key.name == "loose" && b.level != levelNone {
+			t.Fatal("unpersisted create must not be required")
+		}
+	}
+}
+
+func TestTrackerRenameChain(t *testing.T) {
+	tr := NewTracker(strictGuarantees())
+	applyAll(t, tr, `
+creat /a
+sync
+rename /a /b
+rename /b /c
+`)
+	e := tr.Snapshot()
+	var head *dentryExpect
+	for _, b := range e.bindings {
+		if b.key.name == "a" && b.removed && b.movedTo != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatal("no chain head for /a")
+	}
+	if head.movedTo.name != "b" {
+		t.Fatalf("chain hop = %q, want b", head.movedTo.name)
+	}
+	// Follow to c.
+	var second *dentryExpect
+	for _, b := range e.bindings {
+		if b.key.name == "b" && b.ino == head.ino && b.movedTo != nil {
+			second = b
+		}
+	}
+	if second == nil || second.movedTo.name != "c" {
+		t.Fatal("chain does not continue to /c")
+	}
+}
+
+func TestTrackerFsyncPersistsRenameAsAbsence(t *testing.T) {
+	tr := NewTracker(strictGuarantees())
+	applyAll(t, tr, `
+creat /a
+sync
+rename /a /b
+fsync /b
+`)
+	e := tr.Snapshot()
+	sawAbsent, sawRequired := false, false
+	for _, b := range e.bindings {
+		if b.key.name == "a" && b.absent {
+			sawAbsent = true
+		}
+		if b.key.name == "b" && b.level > levelNone && !b.removed && !b.absent {
+			sawRequired = true
+		}
+	}
+	if !sawAbsent || !sawRequired {
+		t.Fatalf("fsync-of-renamed: absent(a)=%v required(b)=%v", sawAbsent, sawRequired)
+	}
+}
+
+func TestTrackerModifiedSinceAcceptsBothStates(t *testing.T) {
+	tr := NewTracker(strictGuarantees())
+	applyAll(t, tr, `
+creat /f
+write /f 0 4096
+fsync /f
+write /f 0 8192
+`)
+	e := tr.Snapshot()
+	var fe *fileExpect
+	for _, cand := range e.files {
+		if cand.level >= levelData {
+			fe = cand
+		}
+	}
+	if fe == nil || !fe.modified {
+		t.Fatal("file must be marked modified-since-persist")
+	}
+	if len(fe.accepted) == 0 {
+		t.Fatal("accepted alternate states missing")
+	}
+	if fe.state.size != 4096 || fe.accepted[0].size != 8192 {
+		t.Fatalf("states: persisted %d, accepted %d", fe.state.size, fe.accepted[0].size)
+	}
+}
+
+func TestTrackerMsyncRangeTrimming(t *testing.T) {
+	tr := NewTracker(strictGuarantees())
+	applyAll(t, tr, `
+creat /f
+write /f 0 65536
+sync
+mwrite /f 0 4096
+msync /f 0 16384
+mwrite /f 1024 1024
+`)
+	e := tr.Snapshot()
+	var fe *fileExpect
+	for _, cand := range e.files {
+		if len(cand.ranges) > 0 {
+			fe = cand
+		}
+	}
+	if fe == nil {
+		t.Fatal("no pinned ranges")
+	}
+	// The overwrite of [1024,2048) must have trimmed the pinned range.
+	for _, r := range fe.ranges {
+		end := r.off + int64(len(r.data))
+		if r.off < 2048 && end > 1024 {
+			t.Fatalf("range [%d,%d) overlaps the invalidated region", r.off, end)
+		}
+	}
+}
+
+func TestTrackerSnapshotIsolation(t *testing.T) {
+	tr := NewTracker(strictGuarantees())
+	applyAll(t, tr, `
+creat /f
+write /f 0 4096
+fsync /f
+`)
+	snap := tr.Snapshot()
+	applyAll(t, tr, `
+write /f 0 8192
+sync
+`)
+	// The earlier snapshot must still expect the 4096-byte state.
+	for _, fe := range snap.files {
+		if fe.level >= levelData && fe.state.size != 4096 {
+			t.Fatalf("snapshot mutated: size %d", fe.state.size)
+		}
+	}
+}
+
+func TestTrackerFdatasyncWithoutDentryGuarantee(t *testing.T) {
+	g := strictGuarantees()
+	g.FdatasyncPersistsDentry = false
+	tr := NewTracker(g)
+	applyAll(t, tr, `
+creat /fresh
+write /fresh 0 4096
+fdatasync /fresh
+`)
+	e := tr.Snapshot()
+	for _, b := range e.bindings {
+		if b.key.name == "fresh" && b.level > levelNone {
+			t.Fatal("fdatasync must not pin the dentry of a never-persisted file (FSCQ semantics)")
+		}
+	}
+}
+
+func TestTrackerSeverityOrdering(t *testing.T) {
+	// Primary() must prefer the most actionable consequence.
+	r := &Result{Findings: []Finding{
+		{Consequence: bugs.XattrInconsistent},
+		{Consequence: bugs.Unmountable},
+		{Consequence: bugs.WrongSize},
+	}}
+	if r.Primary().Consequence != bugs.Unmountable {
+		t.Fatalf("primary = %v", r.Primary().Consequence)
+	}
+}

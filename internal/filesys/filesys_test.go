@@ -1,0 +1,44 @@
+package filesys
+
+import "testing"
+
+func TestFileKindStrings(t *testing.T) {
+	want := map[FileKind]string{
+		KindRegular: "file", KindDir: "dir", KindSymlink: "symlink", KindFifo: "fifo",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if FileKind(99).String() != "unknown" {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestFallocModeStrings(t *testing.T) {
+	want := map[FallocMode]string{
+		FallocDefault:           "falloc",
+		FallocKeepSize:          "falloc -k",
+		FallocPunchHole:         "punch_hole",
+		FallocZeroRange:         "zero_range",
+		FallocZeroRangeKeepSize: "zero_range -k",
+	}
+	for m, s := range want {
+		if m.String() != s {
+			t.Errorf("mode %d = %q, want %q", m, m.String(), s)
+		}
+	}
+}
+
+func TestErrorsAreDistinct(t *testing.T) {
+	errs := []error{ErrNotExist, ErrExist, ErrNotDir, ErrIsDir, ErrNotEmpty,
+		ErrInvalid, ErrNoData, ErrCorrupted, ErrReadOnly}
+	seen := map[string]bool{}
+	for _, e := range errs {
+		if seen[e.Error()] {
+			t.Errorf("duplicate error text %q", e.Error())
+		}
+		seen[e.Error()] = true
+	}
+}

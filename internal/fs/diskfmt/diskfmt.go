@@ -1,0 +1,156 @@
+// Package diskfmt provides the shared on-disk primitives used by every file
+// system in this repository: checksummed length-prefixed blobs spanning
+// blocks, and dual-slot superblocks with generation numbers. Keeping the
+// physical format common lets each file system focus on the thing the B3
+// study shows actually matters for crash consistency: *which* state it
+// persists at each persistence point and how recovery interprets it.
+package diskfmt
+
+import (
+	"fmt"
+
+	"b3/internal/blockdev"
+	"b3/internal/codec"
+	"b3/internal/filesys"
+)
+
+// Checksum is FNV-1a over the payload; adequate for detecting torn or stale
+// blobs produced by crash-state replay.
+func Checksum(data []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Superblock is the generation-stamped root of a file system. The slot
+// written alternates with the generation (gen%2), so a failed superblock
+// write can never destroy the previous valid root.
+type Superblock struct {
+	Magic      uint32
+	Gen        uint64
+	ImageStart int64
+	ImageLen   int64
+}
+
+// WriteSuperblock stores sb in slot gen%2.
+func WriteSuperblock(dev blockdev.Device, sb Superblock) error {
+	e := codec.NewEncoder(64)
+	e.Uint32(sb.Magic)
+	e.Uint64(sb.Gen)
+	e.Int64(sb.ImageStart)
+	e.Int64(sb.ImageLen)
+	body := append([]byte(nil), e.Bytes()...)
+	e.Uint64(Checksum(body))
+	return dev.WriteBlock(int64(sb.Gen%2), e.Bytes())
+}
+
+func readSuperblock(dev blockdev.Device, slot int64, magic uint32) (Superblock, bool) {
+	blk, err := dev.ReadBlock(slot)
+	if err != nil {
+		return Superblock{}, false
+	}
+	d := codec.NewDecoder(blk)
+	if d.Uint32() != magic {
+		return Superblock{}, false
+	}
+	sb := Superblock{Magic: magic, Gen: d.Uint64(), ImageStart: d.Int64(), ImageLen: d.Int64()}
+	e := codec.NewEncoder(64)
+	e.Uint32(sb.Magic)
+	e.Uint64(sb.Gen)
+	e.Int64(sb.ImageStart)
+	e.Int64(sb.ImageLen)
+	if d.Uint64() != Checksum(e.Bytes()) || d.Err() != nil {
+		return Superblock{}, false
+	}
+	return sb, true
+}
+
+// LoadSuperblock returns the valid slot with the highest generation.
+func LoadSuperblock(dev blockdev.Device, magic uint32) (Superblock, error) {
+	a, okA := readSuperblock(dev, 0, magic)
+	b, okB := readSuperblock(dev, 1, magic)
+	switch {
+	case okA && okB:
+		if a.Gen >= b.Gen {
+			return a, nil
+		}
+		return b, nil
+	case okA:
+		return a, nil
+	case okB:
+		return b, nil
+	}
+	return Superblock{}, fmt.Errorf("diskfmt: no valid superblock: %w", filesys.ErrCorrupted)
+}
+
+// WriteBlob stores a checksummed, length-prefixed payload at startBlock and
+// returns the number of blocks consumed.
+func WriteBlob(dev blockdev.Device, startBlock int64, magic uint32, payload []byte) (int64, error) {
+	e := codec.NewEncoder(len(payload) + 32)
+	e.Uint32(magic)
+	e.Uint64(uint64(len(payload)))
+	e.Uint64(Checksum(payload))
+	e.Raw(payload)
+	raw := e.Bytes()
+	blocks := (int64(len(raw)) + blockdev.BlockSize - 1) / blockdev.BlockSize
+	for i := int64(0); i < blocks; i++ {
+		lo := i * blockdev.BlockSize
+		hi := lo + blockdev.BlockSize
+		if hi > int64(len(raw)) {
+			hi = int64(len(raw))
+		}
+		if err := dev.WriteBlock(startBlock+i, raw[lo:hi]); err != nil {
+			return 0, err
+		}
+	}
+	return blocks, nil
+}
+
+// ReadBlob loads a blob written by WriteBlob, verifying magic and checksum.
+func ReadBlob(dev blockdev.Device, startBlock int64, magic uint32) ([]byte, int64, error) {
+	head, err := dev.ReadBlock(startBlock)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := codec.NewDecoder(head)
+	if d.Uint32() != magic {
+		return nil, 0, fmt.Errorf("diskfmt: bad blob magic at block %d: %w", startBlock, filesys.ErrCorrupted)
+	}
+	n := d.Uint64()
+	sum := d.Uint64()
+	if d.Err() != nil {
+		return nil, 0, fmt.Errorf("diskfmt: bad blob header: %w", filesys.ErrCorrupted)
+	}
+	headerLen := blockdev.BlockSize - d.Remaining()
+	total := int64(headerLen) + int64(n)
+	blocks := (total + blockdev.BlockSize - 1) / blockdev.BlockSize
+	if blocks > dev.NumBlocks()-startBlock {
+		return nil, 0, fmt.Errorf("diskfmt: blob overruns device: %w", filesys.ErrCorrupted)
+	}
+	payload := make([]byte, 0, n)
+	hi := int64(blockdev.BlockSize)
+	if total < hi {
+		hi = total
+	}
+	payload = append(payload, head[headerLen:hi]...)
+	for i := int64(1); i < blocks; i++ {
+		blk, err := dev.ReadBlock(startBlock + i)
+		if err != nil {
+			return nil, 0, err
+		}
+		lo := i * blockdev.BlockSize
+		end := lo + blockdev.BlockSize
+		if end > total {
+			end = total
+		}
+		payload = append(payload, blk[:end-lo]...)
+	}
+	payload = payload[:n]
+	if Checksum(payload) != sum {
+		return nil, 0, fmt.Errorf("diskfmt: blob checksum mismatch at block %d: %w", startBlock, filesys.ErrCorrupted)
+	}
+	return payload, blocks, nil
+}

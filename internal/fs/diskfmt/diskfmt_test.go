@@ -1,0 +1,123 @@
+package diskfmt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"b3/internal/blockdev"
+)
+
+const testMagic = 0x54455354
+
+func TestSuperblockRoundTrip(t *testing.T) {
+	dev := blockdev.NewMemDisk(16)
+	for gen := uint64(1); gen <= 4; gen++ {
+		sb := Superblock{Magic: testMagic, Gen: gen, ImageStart: int64(gen * 2), ImageLen: 100}
+		if err := WriteSuperblock(dev, sb); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadSuperblock(dev, testMagic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Gen != gen {
+			t.Fatalf("gen %d: loaded %d", gen, got.Gen)
+		}
+	}
+}
+
+func TestSuperblockSlotAlternation(t *testing.T) {
+	dev := blockdev.NewMemDisk(16)
+	if err := WriteSuperblock(dev, Superblock{Magic: testMagic, Gen: 2, ImageStart: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSuperblock(dev, Superblock{Magic: testMagic, Gen: 3, ImageStart: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newer slot (gen 3 lives in slot 1): fall back to gen 2.
+	if err := dev.WriteBlock(1, []byte("garbage")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSuperblock(dev, testMagic)
+	if err != nil || got.Gen != 2 {
+		t.Fatalf("fallback failed: %+v %v", got, err)
+	}
+}
+
+func TestSuperblockMissing(t *testing.T) {
+	if _, err := LoadSuperblock(blockdev.NewMemDisk(4), testMagic); err == nil {
+		t.Fatal("expected error on empty device")
+	}
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	dev := blockdev.NewMemDisk(64)
+	for _, size := range []int{0, 1, 100, blockdev.BlockSize - 20, blockdev.BlockSize, 3*blockdev.BlockSize + 7} {
+		payload := bytes.Repeat([]byte{0xAB}, size)
+		blocks, err := WriteBlob(dev, 4, testMagic, payload)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		got, gotBlocks, err := ReadBlob(dev, 4, testMagic)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if gotBlocks != blocks || !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: round trip failed (%d vs %d blocks)", size, gotBlocks, blocks)
+		}
+	}
+}
+
+func TestBlobChecksumDetectsCorruption(t *testing.T) {
+	dev := blockdev.NewMemDisk(64)
+	payload := bytes.Repeat([]byte{7}, 2*blockdev.BlockSize)
+	if _, err := WriteBlob(dev, 4, testMagic, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the second block.
+	blk, _ := dev.ReadBlock(5)
+	blk[100] ^= 0xFF
+	if err := dev.WriteBlock(5, blk); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBlob(dev, 4, testMagic); err == nil {
+		t.Fatal("corruption not detected")
+	}
+}
+
+func TestBlobWrongMagic(t *testing.T) {
+	dev := blockdev.NewMemDisk(8)
+	if _, err := WriteBlob(dev, 2, testMagic, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadBlob(dev, 2, testMagic+1); err == nil {
+		t.Fatal("magic mismatch not detected")
+	}
+}
+
+func TestQuickBlobRoundTrip(t *testing.T) {
+	dev := blockdev.NewMemDisk(128)
+	f := func(payload []byte) bool {
+		if len(payload) > 100*1024 {
+			payload = payload[:100*1024]
+		}
+		if _, err := WriteBlob(dev, 2, testMagic, payload); err != nil {
+			return false
+		}
+		got, _, err := ReadBlob(dev, 2, testMagic)
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	if Checksum(nil) != Checksum([]byte{}) {
+		t.Fatal("nil and empty must hash identically")
+	}
+	if Checksum([]byte{1}) == Checksum([]byte{2}) {
+		t.Fatal("trivial collision")
+	}
+}

@@ -1,0 +1,360 @@
+// Package f2fsim implements the F2FS-like file system under test: a
+// log-structured design with periodic checkpoints plus per-fsync node
+// writes, recovered by roll-forward scanning (F2FS's fsync/recovery
+// shortcut). It carries the four F2FS bug mechanisms from the paper: the
+// rename/recreate file loss (appendix workload 1), the fdatasync-after-
+// fallocate KEEP_SIZE block loss (workload 2), the zero_range KEEP_SIZE
+// size recovery bug (Table 5 #9), and the renamed-directory child
+// recovering into the old directory (Table 5 #10).
+package f2fsim
+
+import (
+	"fmt"
+
+	"b3/internal/blockdev"
+	"b3/internal/bugs"
+	"b3/internal/codec"
+	"b3/internal/filesys"
+	"b3/internal/fs/diskfmt"
+	"b3/internal/fstree"
+)
+
+const (
+	superMagic  = 0x46324653 // "F2FS"
+	imageMagic  = 0x43504B54 // "CPKT"
+	recordMagic = 0x4E4F4445 // "NODE"
+
+	imageRegionBlocks = 1024
+	nodeLogStart      = 2 + 2*imageRegionBlocks
+
+	// MinDeviceBlocks is the smallest device f2fsim formats on.
+	MinDeviceBlocks = nodeLogStart + 256
+)
+
+// Options configures an f2fsim instance.
+type Options struct {
+	Version     bugs.Version
+	BugOverride map[string]bool
+}
+
+// FS is the f2fsim file-system type.
+type FS struct {
+	version bugs.Version
+	active  map[string]bool
+}
+
+// New returns an f2fsim simulating the given kernel era.
+func New(opts Options) *FS {
+	ver := opts.Version
+	if ver.IsZero() {
+		ver = bugs.Latest
+	}
+	active := opts.BugOverride
+	if active == nil {
+		active = bugs.ActiveSet("f2fsim", ver)
+	}
+	return &FS{version: ver, active: active}
+}
+
+// Name implements filesys.FileSystem.
+func (f *FS) Name() string { return "f2fsim" }
+
+// Version returns the simulated kernel version.
+func (f *FS) Version() bugs.Version { return f.version }
+
+func (f *FS) has(id string) bool { return f.active[id] }
+
+// Guarantees implements filesys.FileSystem: F2FS recovers fsynced files at
+// their current name via roll-forward, and directory fsync forces a
+// checkpoint, so the developer-confirmed guarantees match btrfs's.
+func (f *FS) Guarantees() filesys.Guarantees {
+	return filesys.Guarantees{
+		FsyncFilePersistsDentry:          true,
+		FsyncFilePersistsAllNames:        true,
+		FsyncFilePersistsRename:          true,
+		FsyncFilePersistsAncestorRenames: true,
+		FsyncDirPersistsEntries:          true,
+		FsyncDirPersistsChildInodes:      true,
+		FsyncDirPersistsSubtreeRenames:   true,
+		FsyncDragsReplacementDentry:      true,
+		FdatasyncPersistsSize:            true,
+		FdatasyncPersistsDentry:          true,
+		FdatasyncPersistsAllocBeyondEOF:  true,
+	}
+}
+
+// fsyncEntry is one recovered unit in a node-log record: an inode image,
+// the directory references it should be linked at, and the stale references
+// roll-forward must remove (names the inode was renamed away from).
+type fsyncEntry struct {
+	node *fstree.Node
+	refs []refRec
+	dels []refRec
+}
+
+type refRec struct {
+	parent uint64
+	name   string
+}
+
+func encodeRecord(gen, seq uint64, entries []fsyncEntry) []byte {
+	e := codec.NewEncoder(512)
+	e.Uint64(gen)
+	e.Uint64(seq)
+	e.Int(len(entries))
+	for _, ent := range entries {
+		fstree.EncodeNode(e, ent.node, false)
+		e.Int(len(ent.refs))
+		for _, r := range ent.refs {
+			e.Uint64(r.parent)
+			e.String(r.name)
+		}
+		e.Int(len(ent.dels))
+		for _, r := range ent.dels {
+			e.Uint64(r.parent)
+			e.String(r.name)
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeRecord(payload []byte) (gen, seq uint64, entries []fsyncEntry, err error) {
+	d := codec.NewDecoder(payload)
+	gen = d.Uint64()
+	seq = d.Uint64()
+	n := d.Int()
+	if d.Err() != nil {
+		return 0, 0, nil, d.Err()
+	}
+	if n < 0 || n > 1<<16 {
+		return 0, 0, nil, fmt.Errorf("f2fsim: implausible record: %w", filesys.ErrCorrupted)
+	}
+	for i := 0; i < n; i++ {
+		node, err := fstree.DecodeNode(d)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		ent := fsyncEntry{node: node}
+		nr := d.Int()
+		if d.Err() != nil || nr < 0 || nr > 1<<16 {
+			return 0, 0, nil, fmt.Errorf("f2fsim: implausible refs: %w", filesys.ErrCorrupted)
+		}
+		for j := 0; j < nr; j++ {
+			ent.refs = append(ent.refs, refRec{parent: d.Uint64(), name: d.String()})
+		}
+		nd := d.Int()
+		if d.Err() != nil || nd < 0 || nd > 1<<16 {
+			return 0, 0, nil, fmt.Errorf("f2fsim: implausible dels: %w", filesys.ErrCorrupted)
+		}
+		for j := 0; j < nd; j++ {
+			ent.dels = append(ent.dels, refRec{parent: d.Uint64(), name: d.String()})
+		}
+		if d.Err() != nil {
+			return 0, 0, nil, d.Err()
+		}
+		entries = append(entries, ent)
+	}
+	return gen, seq, entries, nil
+}
+
+func writeImage(dev blockdev.Device, gen uint64, t *fstree.Tree) error {
+	e := codec.NewEncoder(4096)
+	t.Encode(e)
+	payload := e.Bytes()
+	start := int64(2)
+	if gen%2 == 1 {
+		start = 2 + imageRegionBlocks
+	}
+	blocks, err := diskfmt.WriteBlob(dev, start, imageMagic, payload)
+	if err != nil {
+		return err
+	}
+	if blocks > imageRegionBlocks {
+		return fmt.Errorf("f2fsim: checkpoint exceeds region (%d blocks)", blocks)
+	}
+	if err := dev.Flush(); err != nil {
+		return err
+	}
+	if err := diskfmt.WriteSuperblock(dev, diskfmt.Superblock{
+		Magic: superMagic, Gen: gen, ImageStart: start, ImageLen: int64(len(payload)),
+	}); err != nil {
+		return err
+	}
+	return dev.Flush()
+}
+
+// Mkfs implements filesys.FileSystem.
+func (f *FS) Mkfs(dev blockdev.Device) error {
+	if dev.NumBlocks() < MinDeviceBlocks {
+		return fmt.Errorf("f2fsim: device too small: %w", filesys.ErrInvalid)
+	}
+	return writeImage(dev, 1, fstree.New())
+}
+
+// Mount implements filesys.FileSystem: load the checkpoint and roll the
+// fsync node chain forward.
+func (f *FS) Mount(dev blockdev.Device) (filesys.MountedFS, error) {
+	sb, err := diskfmt.LoadSuperblock(dev, superMagic)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := diskfmt.ReadBlob(dev, sb.ImageStart, imageMagic)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := fstree.DecodeTree(codec.NewDecoder(payload))
+	if err != nil {
+		return nil, err
+	}
+
+	// Roll-forward: scan the node log for this generation.
+	head := int64(nodeLogStart)
+	wantSeq := uint64(1)
+	recovered := false
+	for head < dev.NumBlocks() {
+		blob, blocks, err := diskfmt.ReadBlob(dev, head, recordMagic)
+		if err != nil {
+			break
+		}
+		rGen, rSeq, entries, err := decodeRecord(blob)
+		if err != nil || rGen != sb.Gen || rSeq != wantSeq {
+			break
+		}
+		rollForward(tree, entries)
+		head += blocks
+		wantSeq++
+		recovered = true
+	}
+	if recovered {
+		sweepAndRecount(tree)
+	}
+
+	m := &mounted{
+		fs:      f,
+		dev:     dev,
+		gen:     sb.Gen,
+		mem:     tree,
+		logHead: nodeLogStart,
+		state:   map[uint64]*inodeState{},
+	}
+	m.captureCommitted()
+	if recovered {
+		// Recovery finishes with a checkpoint.
+		if err := m.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Fsck implements filesys.FileSystem (fsck.f2fs analogue): mount-equivalent
+// recovery plus a clean checkpoint.
+func (f *FS) Fsck(dev blockdev.Device) (bool, error) {
+	m, err := f.Mount(dev)
+	if err != nil {
+		return false, err
+	}
+	return true, m.Unmount()
+}
+
+// rollForward applies one fsync record: materialize each node and link it
+// at its recorded references.
+func rollForward(tree *fstree.Tree, entries []fsyncEntry) {
+	for _, ent := range entries {
+		n := ent.node
+		existing := tree.Get(n.Ino)
+		if existing == nil {
+			fresh := n.Clone()
+			if fresh.Kind == filesys.KindDir && fresh.Children == nil {
+				fresh.Children = make(map[string]uint64)
+			}
+			tree.AddOrphan(fresh, true)
+		} else {
+			existing.Nlink = n.Nlink
+			existing.Target = n.Target
+			existing.Extents = append([]filesys.Extent(nil), n.Extents...)
+			if existing.Kind != filesys.KindDir {
+				existing.Data = append([]byte(nil), n.Data...)
+			}
+			if len(n.Xattrs) == 0 {
+				existing.Xattrs = nil
+			} else {
+				existing.Xattrs = make(map[string][]byte, len(n.Xattrs))
+				for k, v := range n.Xattrs {
+					existing.Xattrs[k] = append([]byte(nil), v...)
+				}
+			}
+		}
+		for _, r := range ent.dels {
+			dir := tree.Get(r.parent)
+			if dir == nil || dir.Kind != filesys.KindDir {
+				continue
+			}
+			if dir.Children[r.name] == n.Ino {
+				delete(dir.Children, r.name)
+			}
+		}
+		for _, r := range ent.refs {
+			dir := tree.Get(r.parent)
+			if dir == nil || dir.Kind != filesys.KindDir {
+				continue // parent not recoverable; entry dropped
+			}
+			dir.Children[r.name] = n.Ino
+		}
+	}
+}
+
+// sweepAndRecount removes unreachable inodes and rebuilds link counts after
+// roll-forward.
+func sweepAndRecount(tree *fstree.Tree) {
+	reachable := map[uint64]bool{fstree.RootIno: true}
+	queue := []uint64{fstree.RootIno}
+	for len(queue) > 0 {
+		ino := queue[0]
+		queue = queue[1:]
+		n := tree.Get(ino)
+		if n == nil || n.Kind != filesys.KindDir {
+			continue
+		}
+		var dangling []string
+		for name, c := range n.Children {
+			if tree.Get(c) == nil {
+				dangling = append(dangling, name)
+				continue
+			}
+			if !reachable[c] {
+				reachable[c] = true
+				queue = append(queue, c)
+			}
+		}
+		for _, name := range dangling {
+			delete(n.Children, name)
+		}
+	}
+	for _, ino := range tree.Inos() {
+		if !reachable[ino] {
+			tree.RemoveNode(ino)
+		}
+	}
+	refs := map[uint64]int{}
+	subdirs := map[uint64]int{}
+	tree.Walk(func(path string, n *fstree.Node) {
+		if path != "/" {
+			refs[n.Ino]++
+		}
+		if n.Kind == filesys.KindDir {
+			for _, c := range n.Children {
+				if cn := tree.Get(c); cn != nil && cn.Kind == filesys.KindDir {
+					subdirs[n.Ino]++
+				}
+			}
+		}
+	})
+	tree.Walk(func(path string, n *fstree.Node) {
+		if n.Kind == filesys.KindDir {
+			n.Nlink = 2 + subdirs[n.Ino]
+		} else {
+			n.Nlink = refs[n.Ino]
+		}
+	})
+}

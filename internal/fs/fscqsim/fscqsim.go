@@ -1,0 +1,260 @@
+// Package fscqsim implements the FSCQ-like verified file system under test:
+// a synchronous operation log whose flush (fsync or sync) makes every
+// preceding operation durable — the behaviour FSCQ's crash Hoare logic
+// proves correct. The one bug it carries is the paper's Table 5 #11: a
+// data-loss bug introduced by the *unverified* C-Haskell binding's
+// logged-writes optimization, where fdatasync flushes data blocks directly
+// but forgets the pending size update sitting in the log (appendix 9.2,
+// workload 11).
+package fscqsim
+
+import (
+	"fmt"
+
+	"b3/internal/blockdev"
+	"b3/internal/bugs"
+	"b3/internal/codec"
+	"b3/internal/filesys"
+	"b3/internal/fs/diskfmt"
+	"b3/internal/fstree"
+)
+
+const (
+	superMagic  = 0x46534351 // "FSCQ"
+	imageMagic  = 0x4C4F4749 // "LOGI"
+	recordMagic = 0x44505754 // "DPWT"
+
+	imageRegionBlocks = 1024
+	logStart          = 2 + 2*imageRegionBlocks
+
+	// MinDeviceBlocks is the smallest device fscqsim formats on.
+	MinDeviceBlocks = logStart + 256
+)
+
+const (
+	recFullImage byte = iota
+	recDataPatch
+)
+
+// Options configures an fscqsim instance.
+type Options struct {
+	Version     bugs.Version
+	BugOverride map[string]bool
+}
+
+// FS is the fscqsim file-system type.
+type FS struct {
+	version bugs.Version
+	active  map[string]bool
+}
+
+// New returns an fscqsim instance.
+func New(opts Options) *FS {
+	ver := opts.Version
+	if ver.IsZero() {
+		ver = bugs.Latest
+	}
+	active := opts.BugOverride
+	if active == nil {
+		active = bugs.ActiveSet("fscqsim", ver)
+	}
+	return &FS{version: ver, active: active}
+}
+
+// Name implements filesys.FileSystem.
+func (f *FS) Name() string { return "fscqsim" }
+
+// Version returns the simulated kernel/toolchain era.
+func (f *FS) Version() bugs.Version { return f.version }
+
+func (f *FS) has(id string) bool { return f.active[id] }
+
+// Guarantees implements filesys.FileSystem: FSCQ's specification makes
+// every flush persist all preceding operations, and fdatasync is specified
+// to persist data and size.
+func (f *FS) Guarantees() filesys.Guarantees {
+	return filesys.Guarantees{
+		FsyncFilePersistsDentry:          true,
+		FsyncFilePersistsAllNames:        true,
+		FsyncFilePersistsRename:          true,
+		FsyncFilePersistsAncestorRenames: true,
+		FsyncDirPersistsEntries:          true,
+		FsyncDirPersistsChildInodes:      true,
+		FsyncDirPersistsSubtreeRenames:   true,
+		FsyncDragsReplacementDentry:      true,
+		FdatasyncPersistsSize:            true,
+		FdatasyncPersistsDentry:          false,
+		FdatasyncPersistsAllocBeyondEOF:  true,
+	}
+}
+
+type logRecord struct {
+	kind byte
+	tree *fstree.Tree // recFullImage
+	ino  uint64       // recDataPatch
+	data []byte
+	size int64
+	ext  []filesys.Extent
+}
+
+func encodeRecord(gen, seq uint64, r logRecord) []byte {
+	e := codec.NewEncoder(512)
+	e.Uint64(gen)
+	e.Uint64(seq)
+	e.Byte(r.kind)
+	switch r.kind {
+	case recFullImage:
+		r.tree.Encode(e)
+	case recDataPatch:
+		e.Uint64(r.ino)
+		e.Bytes64(r.data)
+		e.Int64(r.size)
+		e.Int(len(r.ext))
+		for _, x := range r.ext {
+			e.Int64(x.Off)
+			e.Int64(x.Len)
+		}
+	}
+	return e.Bytes()
+}
+
+func decodeRecord(payload []byte) (gen, seq uint64, r logRecord, err error) {
+	d := codec.NewDecoder(payload)
+	gen = d.Uint64()
+	seq = d.Uint64()
+	r.kind = d.Byte()
+	switch r.kind {
+	case recFullImage:
+		r.tree, err = fstree.DecodeTree(d)
+		if err != nil {
+			return
+		}
+	case recDataPatch:
+		r.ino = d.Uint64()
+		r.data = d.Bytes64()
+		r.size = d.Int64()
+		n := d.Int()
+		if d.Err() != nil || n < 0 || n > 1<<20 {
+			return 0, 0, r, fmt.Errorf("fscqsim: implausible extents: %w", filesys.ErrCorrupted)
+		}
+		for i := 0; i < n; i++ {
+			r.ext = append(r.ext, filesys.Extent{Off: d.Int64(), Len: d.Int64()})
+		}
+	default:
+		return 0, 0, r, fmt.Errorf("fscqsim: unknown record kind: %w", filesys.ErrCorrupted)
+	}
+	err = d.Err()
+	return
+}
+
+func writeImage(dev blockdev.Device, gen uint64, t *fstree.Tree) error {
+	e := codec.NewEncoder(4096)
+	t.Encode(e)
+	payload := e.Bytes()
+	start := int64(2)
+	if gen%2 == 1 {
+		start = 2 + imageRegionBlocks
+	}
+	blocks, err := diskfmt.WriteBlob(dev, start, imageMagic, payload)
+	if err != nil {
+		return err
+	}
+	if blocks > imageRegionBlocks {
+		return fmt.Errorf("fscqsim: image exceeds region")
+	}
+	if err := dev.Flush(); err != nil {
+		return err
+	}
+	if err := diskfmt.WriteSuperblock(dev, diskfmt.Superblock{
+		Magic: superMagic, Gen: gen, ImageStart: start, ImageLen: int64(len(payload)),
+	}); err != nil {
+		return err
+	}
+	return dev.Flush()
+}
+
+// Mkfs implements filesys.FileSystem.
+func (f *FS) Mkfs(dev blockdev.Device) error {
+	if dev.NumBlocks() < MinDeviceBlocks {
+		return fmt.Errorf("fscqsim: device too small: %w", filesys.ErrInvalid)
+	}
+	return writeImage(dev, 1, fstree.New())
+}
+
+// Mount implements filesys.FileSystem.
+func (f *FS) Mount(dev blockdev.Device) (filesys.MountedFS, error) {
+	sb, err := diskfmt.LoadSuperblock(dev, superMagic)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := diskfmt.ReadBlob(dev, sb.ImageStart, imageMagic)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := fstree.DecodeTree(codec.NewDecoder(payload))
+	if err != nil {
+		return nil, err
+	}
+
+	head := int64(logStart)
+	wantSeq := uint64(1)
+	recovered := false
+	for head < dev.NumBlocks() {
+		blob, blocks, err := diskfmt.ReadBlob(dev, head, recordMagic)
+		if err != nil {
+			break
+		}
+		rGen, rSeq, rec, err := decodeRecord(blob)
+		if err != nil || rGen != sb.Gen || rSeq != wantSeq {
+			break
+		}
+		switch rec.kind {
+		case recFullImage:
+			tree = rec.tree
+		case recDataPatch:
+			applyPatch(tree, rec)
+		}
+		head += blocks
+		wantSeq++
+		recovered = true
+	}
+
+	m := &mounted{fs: f, dev: dev, gen: sb.Gen, mem: tree, logHead: logStart}
+	m.captureDurable()
+	if recovered {
+		if err := m.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Fsck implements filesys.FileSystem (FSCQ needs none; recovery is total).
+func (f *FS) Fsck(dev blockdev.Device) (bool, error) {
+	m, err := f.Mount(dev)
+	if err != nil {
+		return false, err
+	}
+	return true, m.Unmount()
+}
+
+// applyPatch lands fdatasync'ed data, then truncates to the recorded size —
+// the size is authoritative; a stale size is exactly the N11 data loss.
+func applyPatch(tree *fstree.Tree, rec logRecord) {
+	if len(tree.PathsOf(rec.ino)) == 0 {
+		return // file not durable: nothing to patch
+	}
+	n := tree.Get(rec.ino)
+	if n == nil || n.Kind != filesys.KindRegular {
+		return
+	}
+	n.Data = append([]byte(nil), rec.data...)
+	n.Extents = append([]filesys.Extent(nil), rec.ext...)
+	if rec.size < int64(len(n.Data)) {
+		n.Data = n.Data[:rec.size]
+	} else if rec.size > int64(len(n.Data)) {
+		grown := make([]byte, rec.size)
+		copy(grown, n.Data)
+		n.Data = grown
+	}
+}

@@ -1,0 +1,314 @@
+// Package journalfs implements the ext4-like file system under test:
+// ordered-mode metadata journaling. A transaction commit (triggered by
+// fsync, fdatasync, or sync) first flushes dirty data, then journals all
+// pending metadata — the global-journal "dragging" effect that makes ext4
+// hard to catch out (the paper found no new ext4 bugs; the two studied ones
+// are in the fdatasync fast path and the direct-IO size path, both modelled
+// here).
+package journalfs
+
+import (
+	"fmt"
+	"sort"
+
+	"b3/internal/blockdev"
+	"b3/internal/bugs"
+	"b3/internal/codec"
+	"b3/internal/filesys"
+	"b3/internal/fs/diskfmt"
+	"b3/internal/fstree"
+)
+
+const (
+	superMagic  = 0x4A524E4C // "JRNL"
+	imageMagic  = 0x494D4147 // "IMAG"
+	recordMagic = 0x54584E52 // "TXNR"
+
+	imageRegionBlocks = 1024
+	journalStart      = 2 + 2*imageRegionBlocks
+
+	// MinDeviceBlocks is the smallest device journalfs formats on.
+	MinDeviceBlocks = journalStart + 256
+)
+
+const (
+	recFullImage byte = iota // full metadata+data image (ordered commit)
+	recDirect                // direct-IO write patch
+)
+
+// Options configures a journalfs instance.
+type Options struct {
+	Version     bugs.Version
+	BugOverride map[string]bool
+}
+
+// FS is the journalfs file-system type.
+type FS struct {
+	version bugs.Version
+	active  map[string]bool
+}
+
+// New returns a journalfs simulating the given kernel era.
+func New(opts Options) *FS {
+	ver := opts.Version
+	if ver.IsZero() {
+		ver = bugs.Latest
+	}
+	active := opts.BugOverride
+	if active == nil {
+		active = bugs.ActiveSet("journalfs", ver)
+	}
+	return &FS{version: ver, active: active}
+}
+
+// Name implements filesys.FileSystem.
+func (f *FS) Name() string { return "journalfs" }
+
+// Version returns the simulated kernel version.
+func (f *FS) Version() bugs.Version { return f.version }
+
+func (f *FS) has(id string) bool { return f.active[id] }
+
+// Guarantees implements filesys.FileSystem. ext4's global journal persists
+// all pending metadata at every commit, so every guarantee holds.
+func (f *FS) Guarantees() filesys.Guarantees {
+	return filesys.Guarantees{
+		FsyncFilePersistsDentry:          true,
+		FsyncFilePersistsAllNames:        true,
+		FsyncFilePersistsRename:          true,
+		FsyncFilePersistsAncestorRenames: true,
+		FsyncDirPersistsEntries:          true,
+		FsyncDirPersistsChildInodes:      true,
+		FsyncDirPersistsSubtreeRenames:   true,
+		FsyncDragsReplacementDentry:      true,
+		FdatasyncPersistsSize:            true,
+		FdatasyncPersistsDentry:          true,
+		FdatasyncPersistsAllocBeyondEOF:  true,
+	}
+}
+
+func encodeImage(t *fstree.Tree) []byte {
+	e := codec.NewEncoder(4096)
+	t.Encode(e)
+	return e.Bytes()
+}
+
+func writeImage(dev blockdev.Device, gen uint64, t *fstree.Tree) error {
+	payload := encodeImage(t)
+	start := int64(2)
+	if gen%2 == 1 {
+		start = 2 + imageRegionBlocks
+	}
+	blocks, err := diskfmt.WriteBlob(dev, start, imageMagic, payload)
+	if err != nil {
+		return err
+	}
+	if blocks > imageRegionBlocks {
+		return fmt.Errorf("journalfs: image exceeds region (%d blocks)", blocks)
+	}
+	if err := dev.Flush(); err != nil {
+		return err
+	}
+	if err := diskfmt.WriteSuperblock(dev, diskfmt.Superblock{
+		Magic: superMagic, Gen: gen, ImageStart: start, ImageLen: int64(len(payload)),
+	}); err != nil {
+		return err
+	}
+	return dev.Flush()
+}
+
+// Mkfs implements filesys.FileSystem.
+func (f *FS) Mkfs(dev blockdev.Device) error {
+	if dev.NumBlocks() < MinDeviceBlocks {
+		return fmt.Errorf("journalfs: device too small: %w", filesys.ErrInvalid)
+	}
+	return writeImage(dev, 1, fstree.New())
+}
+
+// journalRecord is one committed transaction in the journal area.
+type journalRecord struct {
+	kind byte
+	// recFullImage:
+	tree *fstree.Tree
+	// recDirect:
+	ino  uint64
+	off  int64
+	data []byte
+	size int64
+}
+
+func encodeRecord(gen, seq uint64, r journalRecord) []byte {
+	e := codec.NewEncoder(512)
+	e.Uint64(gen)
+	e.Uint64(seq)
+	e.Byte(r.kind)
+	switch r.kind {
+	case recFullImage:
+		r.tree.Encode(e)
+	case recDirect:
+		e.Uint64(r.ino)
+		e.Int64(r.off)
+		e.Bytes64(r.data)
+		e.Int64(r.size)
+	}
+	return e.Bytes()
+}
+
+func decodeRecord(payload []byte) (gen, seq uint64, r journalRecord, err error) {
+	d := codec.NewDecoder(payload)
+	gen = d.Uint64()
+	seq = d.Uint64()
+	r.kind = d.Byte()
+	switch r.kind {
+	case recFullImage:
+		r.tree, err = fstree.DecodeTree(d)
+		if err != nil {
+			return 0, 0, r, err
+		}
+	case recDirect:
+		r.ino = d.Uint64()
+		r.off = d.Int64()
+		r.data = d.Bytes64()
+		r.size = d.Int64()
+	default:
+		return 0, 0, r, fmt.Errorf("journalfs: unknown record kind %d: %w", r.kind, filesys.ErrCorrupted)
+	}
+	return gen, seq, r, d.Err()
+}
+
+func scanJournal(dev blockdev.Device, gen uint64) ([]journalRecord, error) {
+	var out []journalRecord
+	head := int64(journalStart)
+	wantSeq := uint64(1)
+	for head < dev.NumBlocks() {
+		payload, blocks, err := diskfmt.ReadBlob(dev, head, recordMagic)
+		if err != nil {
+			break
+		}
+		rGen, rSeq, rec, err := decodeRecord(payload)
+		if err != nil || rGen != gen || rSeq != wantSeq {
+			break
+		}
+		out = append(out, rec)
+		head += blocks
+		wantSeq++
+	}
+	return out, nil
+}
+
+// Mount implements filesys.FileSystem: load the checkpoint image and replay
+// committed journal transactions.
+func (f *FS) Mount(dev blockdev.Device) (filesys.MountedFS, error) {
+	sb, err := diskfmt.LoadSuperblock(dev, superMagic)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := diskfmt.ReadBlob(dev, sb.ImageStart, imageMagic)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := fstree.DecodeTree(codec.NewDecoder(payload))
+	if err != nil {
+		return nil, err
+	}
+	records, err := scanJournal(dev, sb.Gen)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range records {
+		switch rec.kind {
+		case recFullImage:
+			tree = rec.tree
+		case recDirect:
+			applyDirect(tree, rec)
+		}
+	}
+
+	m := &mounted{
+		fs:      f,
+		dev:     dev,
+		gen:     sb.Gen,
+		mem:     tree,
+		logHead: journalStart,
+		dirty:   map[uint64]*dirtyState{},
+	}
+	m.captureDurableSizes()
+	if len(records) > 0 {
+		// Recovery finishes with a checkpoint, like jbd2 after replay.
+		if err := m.checkpoint(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Fsck implements filesys.FileSystem: e2fsck-style — recovery already
+// replays the journal, so fsck only rewrites a clean checkpoint.
+func (f *FS) Fsck(dev blockdev.Device) (bool, error) {
+	m, err := f.Mount(dev)
+	if err != nil {
+		return false, err
+	}
+	return true, m.Unmount()
+}
+
+// applyDirect patches a direct-IO write into the image: data and block
+// allocation land, and the size is set from the journaled i_disksize.
+func applyDirect(tree *fstree.Tree, rec journalRecord) {
+	paths := tree.PathsOf(rec.ino)
+	if len(paths) == 0 {
+		return // file was never durable; nothing to attach the write to
+	}
+	n := tree.Get(rec.ino)
+	if n == nil || n.Kind != filesys.KindRegular {
+		return
+	}
+	end := rec.off + int64(len(rec.data))
+	if end > int64(len(n.Data)) {
+		grown := make([]byte, end)
+		copy(grown, n.Data)
+		n.Data = grown
+	}
+	copy(n.Data[rec.off:end], rec.data)
+	allocRange(n, rec.off, end)
+	// i_disksize from the record rules the recovered size.
+	if rec.size < int64(len(n.Data)) {
+		n.Data = n.Data[:rec.size]
+	} else if rec.size > int64(len(n.Data)) {
+		grown := make([]byte, rec.size)
+		copy(grown, n.Data)
+		n.Data = grown
+	}
+}
+
+func allocRange(n *fstree.Node, off, end int64) {
+	if end <= off {
+		return
+	}
+	const bs = int64(blockdev.BlockSize)
+	start := off &^ (bs - 1)
+	stop := (end + bs - 1) &^ (bs - 1)
+	merged := make([]filesys.Extent, 0, len(n.Extents)+1)
+	inserted := false
+	for _, e := range n.Extents {
+		if e.Off+e.Len < start || e.Off > stop {
+			if !inserted && e.Off > stop {
+				merged = append(merged, filesys.Extent{Off: start, Len: stop - start})
+				inserted = true
+			}
+			merged = append(merged, e)
+			continue
+		}
+		if e.Off < start {
+			start = e.Off
+		}
+		if e.Off+e.Len > stop {
+			stop = e.Off + e.Len
+		}
+	}
+	if !inserted {
+		merged = append(merged, filesys.Extent{Off: start, Len: stop - start})
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Off < merged[j].Off })
+	n.Extents = merged
+}

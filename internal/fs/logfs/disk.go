@@ -1,0 +1,170 @@
+package logfs
+
+import (
+	"fmt"
+
+	"b3/internal/blockdev"
+	"b3/internal/codec"
+	"b3/internal/filesys"
+)
+
+// On-disk layout (in blocks):
+//
+//	0, 1            superblock slots A and B (generation g lives in slot g%2)
+//	2 .. 2+T-1      main-tree region A (commits with even generation)
+//	2+T .. 2+2T-1   main-tree region B (commits with odd generation)
+//	2+2T ..         fsync log area: batches appended contiguously
+//
+// where T = treeRegionBlocks. Every structure is a length-prefixed,
+// checksummed blob; a bad checksum terminates log scanning (torn batches
+// from the prefix-replay extension) or invalidates a superblock slot.
+const (
+	superMagic = 0x4C4F4746 // "LOGF"
+	treeMagic  = 0x54524545 // "TREE"
+	batchMagic = 0x4C424154 // "LBAT"
+
+	treeRegionBlocks = 1024
+	logStartBlock    = 2 + 2*treeRegionBlocks
+
+	// MinDeviceBlocks is the smallest device logfs can be formatted on.
+	MinDeviceBlocks = logStartBlock + 256
+)
+
+// checksum is a simple FNV-1a over the payload; adequate for detecting the
+// torn/stale blobs the harness can produce.
+func checksum(data []byte) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+type superblock struct {
+	gen       uint64
+	treeStart int64
+	treeLen   int64
+}
+
+func writeSuperblock(dev blockdev.Device, sb superblock) error {
+	e := codec.NewEncoder(64)
+	e.Uint32(superMagic)
+	e.Uint64(sb.gen)
+	e.Int64(sb.treeStart)
+	e.Int64(sb.treeLen)
+	body := append([]byte(nil), e.Bytes()...)
+	e.Uint64(checksum(body))
+	slot := int64(sb.gen % 2)
+	return dev.WriteBlock(slot, e.Bytes())
+}
+
+func readSuperblock(dev blockdev.Device, slot int64) (superblock, bool) {
+	blk, err := dev.ReadBlock(slot)
+	if err != nil {
+		return superblock{}, false
+	}
+	d := codec.NewDecoder(blk)
+	if d.Uint32() != superMagic {
+		return superblock{}, false
+	}
+	sb := superblock{gen: d.Uint64(), treeStart: d.Int64(), treeLen: d.Int64()}
+	// Verify checksum by re-encoding the body.
+	e := codec.NewEncoder(64)
+	e.Uint32(superMagic)
+	e.Uint64(sb.gen)
+	e.Int64(sb.treeStart)
+	e.Int64(sb.treeLen)
+	if d.Uint64() != checksum(e.Bytes()) || d.Err() != nil {
+		return superblock{}, false
+	}
+	return sb, true
+}
+
+// loadSuperblock picks the valid slot with the highest generation.
+func loadSuperblock(dev blockdev.Device) (superblock, error) {
+	a, okA := readSuperblock(dev, 0)
+	b, okB := readSuperblock(dev, 1)
+	switch {
+	case okA && okB:
+		if a.gen >= b.gen {
+			return a, nil
+		}
+		return b, nil
+	case okA:
+		return a, nil
+	case okB:
+		return b, nil
+	}
+	return superblock{}, fmt.Errorf("logfs: no valid superblock: %w", filesys.ErrCorrupted)
+}
+
+// writeBlob stores a checksummed, length-prefixed payload at startBlock and
+// returns the number of blocks consumed.
+func writeBlob(dev blockdev.Device, startBlock int64, magic uint32, payload []byte) (int64, error) {
+	e := codec.NewEncoder(len(payload) + 32)
+	e.Uint32(magic)
+	e.Uint64(uint64(len(payload)))
+	e.Uint64(checksum(payload))
+	e.Raw(payload)
+	raw := e.Bytes()
+	blocks := (int64(len(raw)) + blockdev.BlockSize - 1) / blockdev.BlockSize
+	for i := int64(0); i < blocks; i++ {
+		lo := i * blockdev.BlockSize
+		hi := lo + blockdev.BlockSize
+		if hi > int64(len(raw)) {
+			hi = int64(len(raw))
+		}
+		if err := dev.WriteBlock(startBlock+i, raw[lo:hi]); err != nil {
+			return 0, err
+		}
+	}
+	return blocks, nil
+}
+
+// readBlob loads a blob written by writeBlob, verifying magic and checksum.
+// It returns the payload and the number of blocks the blob occupies.
+func readBlob(dev blockdev.Device, startBlock int64, magic uint32) ([]byte, int64, error) {
+	head, err := dev.ReadBlock(startBlock)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := codec.NewDecoder(head)
+	if d.Uint32() != magic {
+		return nil, 0, fmt.Errorf("logfs: bad blob magic at block %d: %w", startBlock, filesys.ErrCorrupted)
+	}
+	n := d.Uint64()
+	sum := d.Uint64()
+	if d.Err() != nil {
+		return nil, 0, fmt.Errorf("logfs: bad blob header: %w", filesys.ErrCorrupted)
+	}
+	headerLen := blockdev.BlockSize - d.Remaining()
+	total := int64(headerLen) + int64(n)
+	blocks := (total + blockdev.BlockSize - 1) / blockdev.BlockSize
+	if blocks > dev.NumBlocks()-startBlock {
+		return nil, 0, fmt.Errorf("logfs: blob overruns device: %w", filesys.ErrCorrupted)
+	}
+	payload := make([]byte, 0, n)
+	payload = append(payload, head[headerLen:min64(int64(blockdev.BlockSize), total)]...)
+	for i := int64(1); i < blocks; i++ {
+		blk, err := dev.ReadBlock(startBlock + i)
+		if err != nil {
+			return nil, 0, err
+		}
+		lo := i * blockdev.BlockSize
+		hi := min64(lo+blockdev.BlockSize, total)
+		payload = append(payload, blk[:hi-lo]...)
+	}
+	payload = payload[:n]
+	if checksum(payload) != sum {
+		return nil, 0, fmt.Errorf("logfs: blob checksum mismatch at block %d: %w", startBlock, filesys.ErrCorrupted)
+	}
+	return payload, blocks, nil
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

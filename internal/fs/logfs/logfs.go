@@ -1,0 +1,310 @@
+// Package logfs implements the btrfs-like file system under test: a
+// copy-on-write main tree committed atomically at sync/unmount, plus a
+// per-fsync log (btrfs's tree-log) replayed at mount after a crash.
+//
+// logfs carries the btrfs crash-consistency bug mechanisms from the paper's
+// study (§3, appendix 9.1) and the eight new btrfs bugs CrashMonkey and ACE
+// discovered (Table 5, appendix 9.2). Each mechanism is a conditional in the
+// fsync logging or log replay path, activated when the simulated kernel
+// version falls inside the bug's live range (internal/bugs).
+package logfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"b3/internal/blockdev"
+	"b3/internal/bugs"
+	"b3/internal/codec"
+	"b3/internal/filesys"
+	"b3/internal/fstree"
+)
+
+// dirEntryOverhead models the per-entry directory size contribution
+// (btrfs's i_size for directories grows by name length plus a fixed
+// per-item overhead).
+const dirEntryOverhead = 8
+
+func entryWeight(name string) int64 { return int64(len(name)) + dirEntryOverhead }
+
+// Options configures a logfs instance.
+type Options struct {
+	// Version is the simulated kernel version; the zero value means
+	// bugs.Latest (4.16).
+	Version bugs.Version
+	// BugOverride, when non-nil, is the exact set of active bug mechanisms
+	// regardless of Version. An empty non-nil map yields a fully fixed
+	// file system.
+	BugOverride map[string]bool
+}
+
+// FS is the logfs file-system type (one per configuration; instances are
+// mounted on block devices).
+type FS struct {
+	version bugs.Version
+	active  map[string]bool
+}
+
+// New returns a logfs simulating the given kernel era.
+func New(opts Options) *FS {
+	ver := opts.Version
+	if ver.IsZero() {
+		ver = bugs.Latest
+	}
+	active := opts.BugOverride
+	if active == nil {
+		active = bugs.ActiveSet("logfs", ver)
+	}
+	return &FS{version: ver, active: active}
+}
+
+// Name implements filesys.FileSystem.
+func (f *FS) Name() string { return "logfs" }
+
+// Version returns the simulated kernel version.
+func (f *FS) Version() bugs.Version { return f.version }
+
+// ActiveBugs returns the sorted list of active bug mechanisms.
+func (f *FS) ActiveBugs() []string {
+	out := make([]string, 0, len(f.active))
+	for id, on := range f.active {
+		if on {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (f *FS) has(id string) bool { return f.active[id] }
+
+// Guarantees implements filesys.FileSystem: btrfs provides guarantees well
+// beyond POSIX (§5.1), confirmed with its developers.
+func (f *FS) Guarantees() filesys.Guarantees {
+	return filesys.Guarantees{
+		FsyncFilePersistsDentry:          true,
+		FsyncFilePersistsAllNames:        true,
+		FsyncFilePersistsRename:          true,
+		FsyncFilePersistsAncestorRenames: false,
+		FsyncDirPersistsEntries:          true,
+		FsyncDirPersistsChildInodes:      true,
+		FsyncDirPersistsSubtreeRenames:   true,
+		FsyncDragsReplacementDentry:      true,
+		FdatasyncPersistsSize:            true,
+		FdatasyncPersistsDentry:          true,
+		FdatasyncPersistsAllocBeyondEOF:  true,
+	}
+}
+
+// commitImage is the durable content of a commit: the full tree plus the
+// per-directory entry-byte accounting (btrfs dir i_size analogue).
+type commitImage struct {
+	tree       *fstree.Tree
+	entryBytes map[uint64]int64
+}
+
+func encodeCommit(img commitImage) []byte {
+	e := codec.NewEncoder(4096)
+	img.tree.Encode(e)
+	inos := make([]uint64, 0, len(img.entryBytes))
+	for ino := range img.entryBytes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	e.Int(len(inos))
+	for _, ino := range inos {
+		e.Uint64(ino)
+		e.Int64(img.entryBytes[ino])
+	}
+	return e.Bytes()
+}
+
+func decodeCommit(payload []byte) (commitImage, error) {
+	d := codec.NewDecoder(payload)
+	tree, err := fstree.DecodeTree(d)
+	if err != nil {
+		return commitImage{}, err
+	}
+	n := d.Int()
+	if d.Err() != nil {
+		return commitImage{}, d.Err()
+	}
+	if n < 0 || n > 1<<24 {
+		return commitImage{}, fmt.Errorf("logfs: implausible accounting table: %w", filesys.ErrCorrupted)
+	}
+	eb := make(map[uint64]int64, n)
+	for i := 0; i < n; i++ {
+		ino := d.Uint64()
+		eb[ino] = d.Int64()
+	}
+	if d.Err() != nil {
+		return commitImage{}, d.Err()
+	}
+	return commitImage{tree: tree, entryBytes: eb}, nil
+}
+
+// writeCommit stores the image as generation gen and flips the superblock.
+func writeCommit(dev blockdev.Device, gen uint64, img commitImage) error {
+	payload := encodeCommit(img)
+	start := int64(2)
+	if gen%2 == 1 {
+		start = 2 + treeRegionBlocks
+	}
+	blocks, err := writeBlob(dev, start, treeMagic, payload)
+	if err != nil {
+		return err
+	}
+	if blocks > treeRegionBlocks {
+		return fmt.Errorf("logfs: tree image of %d blocks exceeds region", blocks)
+	}
+	if err := dev.Flush(); err != nil {
+		return err
+	}
+	if err := writeSuperblock(dev, superblock{gen: gen, treeStart: start, treeLen: int64(len(payload))}); err != nil {
+		return err
+	}
+	return dev.Flush()
+}
+
+// Mkfs implements filesys.FileSystem.
+func (f *FS) Mkfs(dev blockdev.Device) error {
+	if dev.NumBlocks() < MinDeviceBlocks {
+		return fmt.Errorf("logfs: device too small (%d blocks, need %d): %w",
+			dev.NumBlocks(), MinDeviceBlocks, filesys.ErrInvalid)
+	}
+	img := commitImage{tree: fstree.New(), entryBytes: map[uint64]int64{fstree.RootIno: 0}}
+	return writeCommit(dev, 1, img)
+}
+
+// Mount implements filesys.FileSystem. After a crash it replays the fsync
+// log onto the committed tree; replay failure surfaces as ErrCorrupted
+// (the file system is unmountable, cf. Figure 1).
+func (f *FS) Mount(dev blockdev.Device) (filesys.MountedFS, error) {
+	sb, err := loadSuperblock(dev)
+	if err != nil {
+		return nil, err
+	}
+	payload, _, err := readBlob(dev, sb.treeStart, treeMagic)
+	if err != nil {
+		return nil, err
+	}
+	img, err := decodeCommit(payload)
+	if err != nil {
+		return nil, err
+	}
+
+	batches, err := scanLog(dev, sb.gen)
+	if err != nil {
+		return nil, err
+	}
+	if len(batches) > 0 {
+		img, err = f.replayLog(img, batches)
+		if err != nil {
+			return nil, fmt.Errorf("logfs: log replay failed: %w", err)
+		}
+	}
+
+	m := &mounted{
+		fs:        f,
+		dev:       dev,
+		gen:       sb.gen,
+		mem:       img.tree,
+		committed: img.tree.Clone(),
+		eb:        img.entryBytes,
+		ebCommit:  cloneEB(img.entryBytes),
+		logHead:   logStartBlock,
+	}
+	m.resetTracking()
+	if len(batches) > 0 {
+		// Recovery commits the replayed state, like btrfs finishing log
+		// replay with a transaction commit.
+		if err := m.commit(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Fsck implements filesys.FileSystem: the btrfs-check analogue. It discards
+// the fsync log, recomputes link counts and directory accounting from the
+// committed tree, and rewrites the commit. Data persisted only in the log is
+// lost, which is why CrashMonkey treats needing fsck as a severe consequence.
+func (f *FS) Fsck(dev blockdev.Device) (bool, error) {
+	sb, err := loadSuperblock(dev)
+	if err != nil {
+		return false, err
+	}
+	payload, _, err := readBlob(dev, sb.treeStart, treeMagic)
+	if err != nil {
+		return false, err
+	}
+	img, err := decodeCommit(payload)
+	if err != nil {
+		return false, err
+	}
+	recomputeLinkCounts(img.tree)
+	img.entryBytes = recomputeEntryBytes(img.tree)
+	if err := writeCommit(dev, sb.gen+1, img); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+func cloneEB(eb map[uint64]int64) map[uint64]int64 {
+	out := make(map[uint64]int64, len(eb))
+	for k, v := range eb {
+		out[k] = v
+	}
+	return out
+}
+
+// recomputeLinkCounts rebuilds Nlink from the namespace (files: number of
+// referencing dentries; dirs: 2 + subdirectories).
+func recomputeLinkCounts(t *fstree.Tree) {
+	refs := map[uint64]int{}
+	subdirs := map[uint64]int{}
+	t.Walk(func(path string, n *fstree.Node) {
+		if path != "/" {
+			refs[n.Ino]++
+		}
+		if n.Kind == filesys.KindDir {
+			for _, childIno := range n.Children {
+				if c := t.Get(childIno); c != nil && c.Kind == filesys.KindDir {
+					subdirs[n.Ino]++
+				}
+			}
+		}
+	})
+	t.Walk(func(path string, n *fstree.Node) {
+		if n.Kind == filesys.KindDir {
+			n.Nlink = 2 + subdirs[n.Ino]
+		} else {
+			n.Nlink = refs[n.Ino]
+		}
+	})
+}
+
+func recomputeEntryBytes(t *fstree.Tree) map[uint64]int64 {
+	eb := map[uint64]int64{}
+	t.Walk(func(path string, n *fstree.Node) {
+		if n.Kind != filesys.KindDir {
+			return
+		}
+		var total int64
+		for name := range n.Children {
+			total += entryWeight(name)
+		}
+		eb[n.Ino] = total
+	})
+	return eb
+}
+
+// pathParent returns the parent path and leaf name of a clean path.
+func pathParent(path string) (string, string) {
+	comps := fstree.SplitPath(path)
+	if len(comps) == 0 {
+		return "/", ""
+	}
+	return "/" + strings.Join(comps[:len(comps)-1], "/"), comps[len(comps)-1]
+}

@@ -1,0 +1,846 @@
+// Package fstree implements the in-memory file-tree model shared by every
+// file system in this repository and by the CrashMonkey oracle tracker.
+//
+// A Tree holds inodes (files, directories, symlinks, fifos) with full POSIX
+// namespace semantics: hard links, rename with replacement, sparse files
+// with explicit allocated extents (for st_blocks and hole accounting), and
+// extended attributes. File systems embed a Tree as their in-memory state
+// and serialize it (or deltas of it) to the block device; crash-consistency
+// bugs are then precisely the divergence between the in-memory Tree and
+// what the file system managed to persist.
+package fstree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"b3/internal/blockdev"
+	"b3/internal/codec"
+	"b3/internal/filesys"
+)
+
+// RootIno is the inode number of the root directory.
+const RootIno uint64 = 1
+
+// Node is a single inode.
+type Node struct {
+	Ino      uint64
+	Kind     filesys.FileKind
+	Nlink    int
+	Data     []byte // regular file content; len(Data) is the file size
+	Extents  []filesys.Extent
+	Xattrs   map[string][]byte
+	Target   string            // symlink target
+	Children map[string]uint64 // directory entries
+}
+
+// Size returns the logical file size.
+func (n *Node) Size() int64 {
+	if n.Kind == filesys.KindSymlink {
+		return int64(len(n.Target))
+	}
+	return int64(len(n.Data))
+}
+
+// Sectors returns the allocated size in 512-byte sectors (st_blocks).
+func (n *Node) Sectors() int64 {
+	var total int64
+	for _, e := range n.Extents {
+		total += e.Len
+	}
+	return total / blockdev.SectorSize
+}
+
+// Stat builds the checker-visible metadata for the node.
+func (n *Node) Stat() filesys.Stat {
+	return filesys.Stat{
+		Ino:    n.Ino,
+		Kind:   n.Kind,
+		Nlink:  n.Nlink,
+		Size:   n.Size(),
+		Blocks: n.Sectors(),
+	}
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node { return n.clone() }
+
+// clone deep-copies the node.
+func (n *Node) clone() *Node {
+	c := &Node{Ino: n.Ino, Kind: n.Kind, Nlink: n.Nlink, Target: n.Target}
+	if n.Data != nil {
+		c.Data = append([]byte(nil), n.Data...)
+	}
+	if n.Extents != nil {
+		c.Extents = append([]filesys.Extent(nil), n.Extents...)
+	}
+	if n.Xattrs != nil {
+		c.Xattrs = make(map[string][]byte, len(n.Xattrs))
+		for k, v := range n.Xattrs {
+			c.Xattrs[k] = append([]byte(nil), v...)
+		}
+	}
+	if n.Children != nil {
+		c.Children = make(map[string]uint64, len(n.Children))
+		for k, v := range n.Children {
+			c.Children[k] = v
+		}
+	}
+	return c
+}
+
+// Tree is a complete in-memory file system image.
+type Tree struct {
+	nodes   map[uint64]*Node
+	nextIno uint64
+}
+
+// New returns a tree containing only an empty root directory.
+func New() *Tree {
+	t := &Tree{nodes: make(map[uint64]*Node), nextIno: RootIno + 1}
+	t.nodes[RootIno] = &Node{
+		Ino:      RootIno,
+		Kind:     filesys.KindDir,
+		Nlink:    2,
+		Children: make(map[string]uint64),
+	}
+	return t
+}
+
+// NextIno returns the next inode number that will be allocated.
+func (t *Tree) NextIno() uint64 { return t.nextIno }
+
+// SetNextIno overrides the inode allocation counter. Recovery code uses
+// this; the btrfs bug where the counter is not advanced past replayed
+// inodes (appendix workload 6) is modelled through it.
+func (t *Tree) SetNextIno(v uint64) { t.nextIno = v }
+
+func (t *Tree) allocIno() uint64 {
+	ino := t.nextIno
+	t.nextIno++
+	return ino
+}
+
+// Get returns the node for ino, or nil.
+func (t *Tree) Get(ino uint64) *Node { return t.nodes[ino] }
+
+// Root returns the root directory node.
+func (t *Tree) Root() *Node { return t.nodes[RootIno] }
+
+// Inos returns all inode numbers in ascending order.
+func (t *Tree) Inos() []uint64 {
+	out := make([]uint64, 0, len(t.nodes))
+	for ino := range t.nodes {
+		out = append(out, ino)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SplitPath normalizes and splits an absolute path into components.
+func SplitPath(path string) []string {
+	path = strings.Trim(path, "/")
+	if path == "" {
+		return nil
+	}
+	return strings.Split(path, "/")
+}
+
+// Lookup resolves path to a node. Symlinks are not followed.
+func (t *Tree) Lookup(path string) (*Node, error) {
+	n := t.Root()
+	for _, comp := range SplitPath(path) {
+		if n.Kind != filesys.KindDir {
+			return nil, fmt.Errorf("lookup %q: %w", path, filesys.ErrNotDir)
+		}
+		child, ok := n.Children[comp]
+		if !ok {
+			return nil, fmt.Errorf("lookup %q: %w", path, filesys.ErrNotExist)
+		}
+		n = t.nodes[child]
+		if n == nil {
+			return nil, fmt.Errorf("lookup %q: dangling entry %q: %w", path, comp, filesys.ErrCorrupted)
+		}
+	}
+	return n, nil
+}
+
+// Exists reports whether path resolves.
+func (t *Tree) Exists(path string) bool {
+	_, err := t.Lookup(path)
+	return err == nil
+}
+
+// resolveParent returns the parent directory node and final component.
+func (t *Tree) resolveParent(path string) (*Node, string, error) {
+	comps := SplitPath(path)
+	if len(comps) == 0 {
+		return nil, "", fmt.Errorf("resolve %q: %w", path, filesys.ErrInvalid)
+	}
+	parentPath := strings.Join(comps[:len(comps)-1], "/")
+	parent, err := t.Lookup(parentPath)
+	if err != nil {
+		return nil, "", err
+	}
+	if parent.Kind != filesys.KindDir {
+		return nil, "", fmt.Errorf("resolve %q: %w", path, filesys.ErrNotDir)
+	}
+	return parent, comps[len(comps)-1], nil
+}
+
+func (t *Tree) addNode(parent *Node, name string, kind filesys.FileKind) (*Node, error) {
+	if _, ok := parent.Children[name]; ok {
+		return nil, fmt.Errorf("create %q: %w", name, filesys.ErrExist)
+	}
+	n := &Node{Ino: t.allocIno(), Kind: kind, Nlink: 1}
+	if _, exists := t.nodes[n.Ino]; exists {
+		return nil, fmt.Errorf("create %q: inode %d already allocated: %w", name, n.Ino, filesys.ErrExist)
+	}
+	switch kind {
+	case filesys.KindDir:
+		n.Nlink = 2
+		n.Children = make(map[string]uint64)
+		parent.Nlink++
+	case filesys.KindRegular:
+		n.Data = []byte{}
+	}
+	t.nodes[n.Ino] = n
+	parent.Children[name] = n.Ino
+	return n, nil
+}
+
+// Create makes an empty regular file.
+func (t *Tree) Create(path string) (*Node, error) {
+	parent, name, err := t.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	return t.addNode(parent, name, filesys.KindRegular)
+}
+
+// Mkdir makes an empty directory.
+func (t *Tree) Mkdir(path string) (*Node, error) {
+	parent, name, err := t.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	return t.addNode(parent, name, filesys.KindDir)
+}
+
+// Symlink makes a symbolic link at linkPath pointing at target.
+func (t *Tree) Symlink(target, linkPath string) (*Node, error) {
+	parent, name, err := t.resolveParent(linkPath)
+	if err != nil {
+		return nil, err
+	}
+	n, err := t.addNode(parent, name, filesys.KindSymlink)
+	if err != nil {
+		return nil, err
+	}
+	n.Target = target
+	return n, nil
+}
+
+// Mkfifo makes a named pipe.
+func (t *Tree) Mkfifo(path string) (*Node, error) {
+	parent, name, err := t.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	return t.addNode(parent, name, filesys.KindFifo)
+}
+
+// Link makes a hard link. Directories cannot be hard-linked.
+func (t *Tree) Link(oldPath, newPath string) (*Node, error) {
+	target, err := t.Lookup(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	if target.Kind == filesys.KindDir {
+		return nil, fmt.Errorf("link %q: %w", oldPath, filesys.ErrIsDir)
+	}
+	parent, name, err := t.resolveParent(newPath)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := parent.Children[name]; ok {
+		return nil, fmt.Errorf("link %q: %w", newPath, filesys.ErrExist)
+	}
+	parent.Children[name] = target.Ino
+	target.Nlink++
+	return target, nil
+}
+
+// Unlink removes a non-directory entry. It returns the unlinked node and
+// whether the node was fully removed (link count reached zero).
+func (t *Tree) Unlink(path string) (*Node, bool, error) {
+	parent, name, err := t.resolveParent(path)
+	if err != nil {
+		return nil, false, err
+	}
+	ino, ok := parent.Children[name]
+	if !ok {
+		return nil, false, fmt.Errorf("unlink %q: %w", path, filesys.ErrNotExist)
+	}
+	n := t.nodes[ino]
+	if n.Kind == filesys.KindDir {
+		return nil, false, fmt.Errorf("unlink %q: %w", path, filesys.ErrIsDir)
+	}
+	delete(parent.Children, name)
+	n.Nlink--
+	if n.Nlink <= 0 {
+		delete(t.nodes, ino)
+		return n, true, nil
+	}
+	return n, false, nil
+}
+
+// Rmdir removes an empty directory.
+func (t *Tree) Rmdir(path string) (*Node, error) {
+	parent, name, err := t.resolveParent(path)
+	if err != nil {
+		return nil, err
+	}
+	ino, ok := parent.Children[name]
+	if !ok {
+		return nil, fmt.Errorf("rmdir %q: %w", path, filesys.ErrNotExist)
+	}
+	n := t.nodes[ino]
+	if n.Kind != filesys.KindDir {
+		return nil, fmt.Errorf("rmdir %q: %w", path, filesys.ErrNotDir)
+	}
+	if len(n.Children) > 0 {
+		return nil, fmt.Errorf("rmdir %q: %w", path, filesys.ErrNotEmpty)
+	}
+	delete(parent.Children, name)
+	parent.Nlink--
+	delete(t.nodes, ino)
+	return n, nil
+}
+
+// Rename moves src to dst with POSIX rename(2) replacement semantics. It
+// returns the moved node and the replaced node (nil if dst did not exist).
+func (t *Tree) Rename(src, dst string) (moved, replaced *Node, err error) {
+	srcParent, srcName, err := t.resolveParent(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	srcIno, ok := srcParent.Children[srcName]
+	if !ok {
+		return nil, nil, fmt.Errorf("rename %q: %w", src, filesys.ErrNotExist)
+	}
+	srcNode := t.nodes[srcIno]
+
+	dstParent, dstName, err := t.resolveParent(dst)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// A directory may not be moved into its own subtree.
+	if srcNode.Kind == filesys.KindDir && t.isAncestorOf(srcNode, dstParent) {
+		return nil, nil, fmt.Errorf("rename %q into own subtree: %w", src, filesys.ErrInvalid)
+	}
+
+	if dstIno, exists := dstParent.Children[dstName]; exists {
+		if dstIno == srcIno {
+			return srcNode, nil, nil // rename to a hard link of itself: no-op
+		}
+		dstNode := t.nodes[dstIno]
+		switch {
+		case srcNode.Kind == filesys.KindDir && dstNode.Kind != filesys.KindDir:
+			return nil, nil, fmt.Errorf("rename %q over %q: %w", src, dst, filesys.ErrNotDir)
+		case srcNode.Kind != filesys.KindDir && dstNode.Kind == filesys.KindDir:
+			return nil, nil, fmt.Errorf("rename %q over %q: %w", src, dst, filesys.ErrIsDir)
+		case dstNode.Kind == filesys.KindDir && len(dstNode.Children) > 0:
+			return nil, nil, fmt.Errorf("rename over %q: %w", dst, filesys.ErrNotEmpty)
+		}
+		// Replace dst.
+		delete(dstParent.Children, dstName)
+		if dstNode.Kind == filesys.KindDir {
+			dstParent.Nlink--
+			delete(t.nodes, dstIno)
+		} else {
+			dstNode.Nlink--
+			if dstNode.Nlink <= 0 {
+				delete(t.nodes, dstIno)
+			}
+		}
+		replaced = dstNode
+	}
+
+	delete(srcParent.Children, srcName)
+	dstParent.Children[dstName] = srcIno
+	if srcNode.Kind == filesys.KindDir && srcParent != dstParent {
+		srcParent.Nlink--
+		dstParent.Nlink++
+	}
+	return srcNode, replaced, nil
+}
+
+func (t *Tree) isAncestorOf(anc, n *Node) bool {
+	if anc == n {
+		return true
+	}
+	for _, childIno := range anc.Children {
+		child := t.nodes[childIno]
+		if child != nil && child.Kind == filesys.KindDir && t.isAncestorOf(child, n) {
+			return true
+		}
+	}
+	return false
+}
+
+const blockSize = int64(blockdev.BlockSize)
+
+func alignDown(v int64) int64 { return v &^ (blockSize - 1) }
+func alignUp(v int64) int64   { return (v + blockSize - 1) &^ (blockSize - 1) }
+
+// allocRange marks the block-aligned cover of [off, end) as allocated.
+func allocRange(n *Node, off, end int64) {
+	if end <= off {
+		return
+	}
+	start, stop := alignDown(off), alignUp(end)
+	merged := make([]filesys.Extent, 0, len(n.Extents)+1)
+	inserted := false
+	for _, e := range n.Extents {
+		if e.Off+e.Len < start || e.Off > stop {
+			if !inserted && e.Off > stop {
+				merged = append(merged, filesys.Extent{Off: start, Len: stop - start})
+				inserted = true
+			}
+			merged = append(merged, e)
+			continue
+		}
+		// Overlapping or adjacent: widen the pending range.
+		if e.Off < start {
+			start = e.Off
+		}
+		if e.Off+e.Len > stop {
+			stop = e.Off + e.Len
+		}
+	}
+	if !inserted {
+		merged = append(merged, filesys.Extent{Off: start, Len: stop - start})
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Off < merged[j].Off })
+	n.Extents = merged
+}
+
+// deallocRange removes allocation for whole blocks strictly inside
+// [off, end); partial edge blocks stay allocated (punch-hole semantics).
+func deallocRange(n *Node, off, end int64) {
+	start, stop := alignUp(off), alignDown(end)
+	if stop <= start {
+		return
+	}
+	var out []filesys.Extent
+	for _, e := range n.Extents {
+		eEnd := e.Off + e.Len
+		if eEnd <= start || e.Off >= stop {
+			out = append(out, e)
+			continue
+		}
+		if e.Off < start {
+			out = append(out, filesys.Extent{Off: e.Off, Len: start - e.Off})
+		}
+		if eEnd > stop {
+			out = append(out, filesys.Extent{Off: stop, Len: eEnd - stop})
+		}
+	}
+	n.Extents = out
+}
+
+func (t *Tree) lookupRegular(path string) (*Node, error) {
+	n, err := t.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind == filesys.KindDir {
+		return nil, fmt.Errorf("write %q: %w", path, filesys.ErrIsDir)
+	}
+	if n.Kind != filesys.KindRegular {
+		return nil, fmt.Errorf("write %q: %w", path, filesys.ErrInvalid)
+	}
+	return n, nil
+}
+
+// Write stores data at off, extending the file and allocating blocks.
+func (t *Tree) Write(path string, off int64, data []byte) (*Node, error) {
+	n, err := t.lookupRegular(path)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 {
+		return nil, fmt.Errorf("write %q: negative offset: %w", path, filesys.ErrInvalid)
+	}
+	end := off + int64(len(data))
+	if end > int64(len(n.Data)) {
+		grown := make([]byte, end)
+		copy(grown, n.Data)
+		n.Data = grown
+	}
+	copy(n.Data[off:end], data)
+	allocRange(n, off, end)
+	return n, nil
+}
+
+// Truncate sets the file size. Shrinking deallocates blocks beyond the new
+// size; growing leaves a hole (no allocation).
+func (t *Tree) Truncate(path string, size int64) (*Node, error) {
+	n, err := t.lookupRegular(path)
+	if err != nil {
+		return nil, err
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("truncate %q: %w", path, filesys.ErrInvalid)
+	}
+	old := int64(len(n.Data))
+	switch {
+	case size < old:
+		n.Data = append([]byte(nil), n.Data[:size]...)
+		deallocRange(n, alignUp(size), alignUp(old))
+	case size > old:
+		grown := make([]byte, size)
+		copy(grown, n.Data)
+		n.Data = grown
+	}
+	return n, nil
+}
+
+// Falloc implements fallocate(2) with the modes in filesys.FallocMode.
+func (t *Tree) Falloc(path string, mode filesys.FallocMode, off, length int64) (*Node, error) {
+	n, err := t.lookupRegular(path)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || length <= 0 {
+		return nil, fmt.Errorf("falloc %q: %w", path, filesys.ErrInvalid)
+	}
+	end := off + length
+	grow := func() {
+		if end > int64(len(n.Data)) {
+			grown := make([]byte, end)
+			copy(grown, n.Data)
+			n.Data = grown
+		}
+	}
+	zero := func() {
+		upto := end
+		if upto > int64(len(n.Data)) {
+			upto = int64(len(n.Data))
+		}
+		for i := off; i < upto; i++ {
+			n.Data[i] = 0
+		}
+	}
+	switch mode {
+	case filesys.FallocDefault:
+		allocRange(n, off, end)
+		grow()
+	case filesys.FallocKeepSize:
+		allocRange(n, off, end)
+	case filesys.FallocPunchHole:
+		zero()
+		deallocRange(n, off, end)
+	case filesys.FallocZeroRange:
+		grow()
+		zero()
+		allocRange(n, off, end)
+	case filesys.FallocZeroRangeKeepSize:
+		zero()
+		allocRange(n, off, end)
+	default:
+		return nil, fmt.Errorf("falloc %q: unknown mode %d: %w", path, mode, filesys.ErrInvalid)
+	}
+	return n, nil
+}
+
+// SetXattr sets an extended attribute.
+func (t *Tree) SetXattr(path, name string, value []byte) (*Node, error) {
+	n, err := t.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Xattrs == nil {
+		n.Xattrs = make(map[string][]byte)
+	}
+	n.Xattrs[name] = append([]byte(nil), value...)
+	return n, nil
+}
+
+// RemoveXattr removes an extended attribute.
+func (t *Tree) RemoveXattr(path, name string) (*Node, error) {
+	n, err := t.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := n.Xattrs[name]; !ok {
+		return nil, fmt.Errorf("removexattr %q %q: %w", path, name, filesys.ErrNoData)
+	}
+	delete(n.Xattrs, name)
+	return n, nil
+}
+
+// ReadDir lists a directory in name order.
+func (t *Tree) ReadDir(path string) ([]filesys.DirEntry, error) {
+	n, err := t.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind != filesys.KindDir {
+		return nil, fmt.Errorf("readdir %q: %w", path, filesys.ErrNotDir)
+	}
+	names := make([]string, 0, len(n.Children))
+	for name := range n.Children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]filesys.DirEntry, 0, len(names))
+	for _, name := range names {
+		child := t.nodes[n.Children[name]]
+		if child == nil {
+			// Dangling entry: buggy recovery can alias a directory under
+			// two names and removal through one leaves the other behind.
+			continue
+		}
+		out = append(out, filesys.DirEntry{Name: name, Ino: child.Ino, Kind: child.Kind})
+	}
+	return out, nil
+}
+
+// PathsOf returns every path that resolves to ino, in sorted order.
+func (t *Tree) PathsOf(ino uint64) []string {
+	var out []string
+	var walk func(prefix string, dir *Node)
+	walk = func(prefix string, dir *Node) {
+		names := make([]string, 0, len(dir.Children))
+		for name := range dir.Children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			childIno := dir.Children[name]
+			p := prefix + "/" + name
+			if childIno == ino {
+				out = append(out, p)
+			}
+			if child := t.nodes[childIno]; child != nil && child.Kind == filesys.KindDir {
+				walk(p, child)
+			}
+		}
+	}
+	if ino == RootIno {
+		return []string{"/"}
+	}
+	walk("", t.Root())
+	return out
+}
+
+// Walk visits every path (directories before their contents) in sorted
+// order, calling fn with the clean absolute path and node.
+func (t *Tree) Walk(fn func(path string, n *Node)) {
+	var walk func(prefix string, dir *Node)
+	walk = func(prefix string, dir *Node) {
+		names := make([]string, 0, len(dir.Children))
+		for name := range dir.Children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			child := t.nodes[dir.Children[name]]
+			if child == nil {
+				continue
+			}
+			p := prefix + "/" + name
+			fn(p, child)
+			if child.Kind == filesys.KindDir {
+				walk(p, child)
+			}
+		}
+	}
+	fn("/", t.Root())
+	walk("", t.Root())
+}
+
+// Clone deep-copies the tree.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{nodes: make(map[uint64]*Node, len(t.nodes)), nextIno: t.nextIno}
+	for ino, n := range t.nodes {
+		c.nodes[ino] = n.clone()
+	}
+	return c
+}
+
+// EncodeNode serializes a single node deterministically. When withChildren
+// is false, directory entries are omitted (log items carry namespace changes
+// as separate dentry records).
+func EncodeNode(e *codec.Encoder, n *Node, withChildren bool) {
+	e.Uint64(n.Ino)
+	e.Byte(byte(n.Kind))
+	e.Int(n.Nlink)
+	e.Bytes64(n.Data)
+	e.String(n.Target)
+	e.Int(len(n.Extents))
+	for _, ext := range n.Extents {
+		e.Int64(ext.Off)
+		e.Int64(ext.Len)
+	}
+	xk := make([]string, 0, len(n.Xattrs))
+	for k := range n.Xattrs {
+		xk = append(xk, k)
+	}
+	sort.Strings(xk)
+	e.Int(len(xk))
+	for _, k := range xk {
+		e.String(k)
+		e.Bytes64(n.Xattrs[k])
+	}
+	if !withChildren || n.Children == nil {
+		e.Int(0)
+		return
+	}
+	ck := make([]string, 0, len(n.Children))
+	for k := range n.Children {
+		ck = append(ck, k)
+	}
+	sort.Strings(ck)
+	e.Int(len(ck))
+	for _, k := range ck {
+		e.String(k)
+		e.Uint64(n.Children[k])
+	}
+}
+
+// DecodeNode deserializes a node written by EncodeNode.
+func DecodeNode(d *codec.Decoder) (*Node, error) {
+	n := &Node{}
+	n.Ino = d.Uint64()
+	n.Kind = filesys.FileKind(d.Byte())
+	n.Nlink = d.Int()
+	n.Data = d.Bytes64()
+	n.Target = d.String()
+	ne := d.Int()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if ne < 0 || ne > 1<<20 {
+		return nil, fmt.Errorf("fstree: implausible extent count: %w", filesys.ErrCorrupted)
+	}
+	for j := 0; j < ne; j++ {
+		n.Extents = append(n.Extents, filesys.Extent{Off: d.Int64(), Len: d.Int64()})
+	}
+	nx := d.Int()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if nx < 0 || nx > 1<<20 {
+		return nil, fmt.Errorf("fstree: implausible xattr count: %w", filesys.ErrCorrupted)
+	}
+	if nx > 0 {
+		n.Xattrs = make(map[string][]byte, nx)
+		for j := 0; j < nx; j++ {
+			k := d.String()
+			n.Xattrs[k] = d.Bytes64()
+		}
+	}
+	nc := d.Int()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if nc < 0 || nc > 1<<24 {
+		return nil, fmt.Errorf("fstree: implausible child count: %w", filesys.ErrCorrupted)
+	}
+	if n.Kind == filesys.KindDir {
+		n.Children = make(map[string]uint64, nc)
+	}
+	for j := 0; j < nc; j++ {
+		k := d.String()
+		ino := d.Uint64()
+		if n.Children != nil {
+			n.Children[k] = ino
+		}
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return n, nil
+}
+
+// Encode serializes the tree deterministically.
+func (t *Tree) Encode(e *codec.Encoder) {
+	e.Uint64(t.nextIno)
+	inos := t.Inos()
+	e.Int(len(inos))
+	for _, ino := range inos {
+		EncodeNode(e, t.nodes[ino], true)
+	}
+}
+
+// DecodeTree deserializes a tree.
+func DecodeTree(d *codec.Decoder) (*Tree, error) {
+	t := &Tree{nodes: make(map[uint64]*Node)}
+	t.nextIno = d.Uint64()
+	count := d.Int()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if count < 0 || count > 1<<24 {
+		return nil, fmt.Errorf("fstree: implausible node count %d: %w", count, filesys.ErrCorrupted)
+	}
+	for i := 0; i < count; i++ {
+		n, err := DecodeNode(d)
+		if err != nil {
+			return nil, err
+		}
+		t.nodes[n.Ino] = n
+	}
+	if t.nodes[RootIno] == nil || t.nodes[RootIno].Kind != filesys.KindDir {
+		return nil, fmt.Errorf("fstree: missing root: %w", filesys.ErrCorrupted)
+	}
+	return t, nil
+}
+
+// InsertNode places a node into the tree under (parent, name), creating the
+// mapping regardless of prior state. Recovery/replay code uses this.
+func (t *Tree) InsertNode(n *Node, parentIno uint64, name string) error {
+	parent := t.nodes[parentIno]
+	if parent == nil || parent.Kind != filesys.KindDir {
+		return fmt.Errorf("insert %q: bad parent %d: %w", name, parentIno, filesys.ErrCorrupted)
+	}
+	if _, exists := t.nodes[n.Ino]; !exists {
+		t.nodes[n.Ino] = n
+	}
+	if old, ok := parent.Children[name]; ok && old != n.Ino {
+		// Replacing a different inode: drop the old link.
+		if oldNode := t.nodes[old]; oldNode != nil {
+			oldNode.Nlink--
+			if oldNode.Nlink <= 0 && oldNode.Kind != filesys.KindDir {
+				delete(t.nodes, old)
+			}
+		}
+	}
+	parent.Children[name] = n.Ino
+	if n.Ino >= t.nextIno {
+		t.nextIno = n.Ino + 1
+	}
+	return nil
+}
+
+// AddOrphan places a node into the inode table without linking it into the
+// namespace (log replay materializes inodes this way before applying dentry
+// records). When bumpNext is true the allocation counter is advanced past
+// the inode; recovery bugs that fail to do so pass false.
+func (t *Tree) AddOrphan(n *Node, bumpNext bool) {
+	t.nodes[n.Ino] = n
+	if bumpNext && n.Ino >= t.nextIno {
+		t.nextIno = n.Ino + 1
+	}
+}
+
+// RemoveNode deletes the inode entirely (used by replay code).
+func (t *Tree) RemoveNode(ino uint64) { delete(t.nodes, ino) }
+
+// NodeCount returns the number of live inodes.
+func (t *Tree) NodeCount() int { return len(t.nodes) }

@@ -1,0 +1,132 @@
+// Package report implements bug-report post-processing (§5.3, Figure 5):
+// a single bug mechanism makes many workloads fail, so reports are grouped
+// by (skeleton, consequence) and deduplicated against a database of known
+// bugs before being shown to the user.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"b3/internal/bugs"
+	"b3/internal/crashmonkey"
+)
+
+// Report is one failed workload.
+type Report struct {
+	FSName      string
+	WorkloadID  string
+	Skeleton    string
+	Consequence bugs.Consequence
+	Findings    []crashmonkey.Finding
+	Workload    string // rendered workload text
+}
+
+// FromResult converts a CrashMonkey result into a report.
+func FromResult(res *crashmonkey.Result) *Report {
+	return &Report{
+		FSName:      res.FSName,
+		WorkloadID:  res.Workload.ID,
+		Skeleton:    res.Workload.Skeleton(),
+		Consequence: res.Primary().Consequence,
+		Findings:    res.Findings,
+		Workload:    res.Workload.String(),
+	}
+}
+
+// GroupKey is the Figure 5 grouping key.
+type GroupKey struct {
+	Skeleton    string
+	Consequence bugs.Consequence
+}
+
+// Group is a set of reports sharing a skeleton and consequence — most
+// likely a single underlying bug (Figure 5: inspect one report per group).
+type Group struct {
+	Key      GroupKey
+	Reports  []*Report
+	Exemplar *Report
+}
+
+// GroupReports buckets reports by (skeleton, consequence).
+func GroupReports(reports []*Report) []*Group {
+	byKey := map[GroupKey]*Group{}
+	for _, r := range reports {
+		key := GroupKey{Skeleton: r.Skeleton, Consequence: r.Consequence}
+		g, ok := byKey[key]
+		if !ok {
+			g = &Group{Key: key, Exemplar: r}
+			byKey[key] = g
+		}
+		g.Reports = append(g.Reports, r)
+	}
+	out := make([]*Group, 0, len(byKey))
+	for _, g := range byKey {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Skeleton != out[j].Key.Skeleton {
+			return out[i].Key.Skeleton < out[j].Key.Skeleton
+		}
+		return out[i].Key.Consequence < out[j].Key.Consequence
+	})
+	return out
+}
+
+// KnownDB is the database of already-reported bugs (§5.3: "ACE maintains a
+// database of all previously found bugs ... if there is a match, ACE does
+// not report the bug to the user").
+type KnownDB struct {
+	entries map[GroupKey]string // -> bug ID
+}
+
+// NewKnownDB builds an empty database.
+func NewKnownDB() *KnownDB {
+	return &KnownDB{entries: map[GroupKey]string{}}
+}
+
+// Add registers a known bug by the skeleton and consequence it produces.
+func (db *KnownDB) Add(skeleton string, consequence bugs.Consequence, bugID string) {
+	db.entries[GroupKey{skeleton, consequence}] = bugID
+}
+
+// Match returns the known bug ID for a report, if any.
+func (db *KnownDB) Match(r *Report) (string, bool) {
+	id, ok := db.entries[GroupKey{r.Skeleton, r.Consequence}]
+	return id, ok
+}
+
+// Len reports the number of known entries.
+func (db *KnownDB) Len() int { return len(db.entries) }
+
+// Split separates reports into new groups and already-known groups.
+func (db *KnownDB) Split(groups []*Group) (fresh, known []*Group) {
+	for _, g := range groups {
+		if _, ok := db.entries[g.Key]; ok {
+			known = append(known, g)
+		} else {
+			fresh = append(fresh, g)
+		}
+	}
+	return fresh, known
+}
+
+// Render produces the paper-style final bug report (Figure 2 output: "Bug
+// Report with workload, crash point, file system, expected state, state
+// after crash").
+func (g *Group) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== bug group: %s | %s (%d workloads)\n",
+		g.Key.Skeleton, g.Key.Consequence, len(g.Reports))
+	fmt.Fprintf(&sb, "file system: %s\n", g.Exemplar.FSName)
+	fmt.Fprintf(&sb, "exemplar workload %s:\n", g.Exemplar.WorkloadID)
+	for _, line := range strings.Split(strings.TrimSpace(g.Exemplar.Workload), "\n") {
+		fmt.Fprintf(&sb, "    %s\n", line)
+	}
+	sb.WriteString("findings:\n")
+	for _, f := range g.Exemplar.Findings {
+		fmt.Fprintf(&sb, "    %s\n", f)
+	}
+	return sb.String()
+}

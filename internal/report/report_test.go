@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"b3/internal/bugs"
+)
+
+func mkReport(skeleton string, cons bugs.Consequence, id string) *Report {
+	return &Report{
+		FSName:      "logfs",
+		WorkloadID:  id,
+		Skeleton:    skeleton,
+		Consequence: cons,
+		Workload:    "creat /foo\nfsync /foo\n",
+	}
+}
+
+func TestGroupReports(t *testing.T) {
+	reports := []*Report{
+		mkReport("link-fsync", bugs.DirEntryMissing, "w1"),
+		mkReport("link-fsync", bugs.DirEntryMissing, "w2"),
+		mkReport("link-fsync", bugs.DataLoss, "w3"),
+		mkReport("rename-fsync", bugs.DirEntryMissing, "w4"),
+	}
+	groups := GroupReports(reports)
+	if len(groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(groups))
+	}
+	// Deterministic order and correct membership.
+	if groups[0].Key.Skeleton != "link-fsync" || len(groups[0].Reports)+len(groups[1].Reports) != 3 {
+		t.Fatalf("grouping wrong: %+v", groups)
+	}
+	for _, g := range groups {
+		if g.Exemplar == nil {
+			t.Fatal("group without exemplar")
+		}
+	}
+}
+
+func TestKnownDB(t *testing.T) {
+	db := NewKnownDB()
+	db.Add("link-fsync", bugs.DirEntryMissing, "btrfs-fsync-logs-single-name")
+	if db.Len() != 1 {
+		t.Fatalf("len = %d", db.Len())
+	}
+	if id, ok := db.Match(mkReport("link-fsync", bugs.DirEntryMissing, "x")); !ok || id != "btrfs-fsync-logs-single-name" {
+		t.Fatalf("match = %q %v", id, ok)
+	}
+	if _, ok := db.Match(mkReport("link-fsync", bugs.DataLoss, "x")); ok {
+		t.Fatal("different consequence must not match")
+	}
+
+	groups := GroupReports([]*Report{
+		mkReport("link-fsync", bugs.DirEntryMissing, "known"),
+		mkReport("creat-fsync", bugs.FileMissing, "fresh"),
+	})
+	fresh, known := db.Split(groups)
+	if len(fresh) != 1 || len(known) != 1 {
+		t.Fatalf("split = %d fresh, %d known", len(fresh), len(known))
+	}
+	if fresh[0].Key.Skeleton != "creat-fsync" {
+		t.Fatal("wrong group marked fresh")
+	}
+}
+
+func TestGroupRender(t *testing.T) {
+	g := GroupReports([]*Report{mkReport("creat-fsync", bugs.FileMissing, "w9")})[0]
+	out := g.Render()
+	for _, want := range []string{"creat-fsync", "persisted file missing", "w9", "creat /foo"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,677 @@
+// Package study encodes the paper's crash-consistency bug study (§3) as an
+// executable corpus: all 24 reproduced bug workloads (appendix 9.1), the 11
+// new-bug workloads (appendix 9.2), and the two out-of-bounds bugs, each
+// linked to its mechanism in the bug registry. The corpus drives the
+// reproduction tests (Table 1, Table 2, Table 5, appendix) and seeds the
+// known-bug database used for report deduplication (§5.3).
+package study
+
+import (
+	"fmt"
+
+	"b3/internal/bugs"
+)
+
+// Variant names one file system a corpus workload reproduces a bug on,
+// together with the registry mechanisms that must be active.
+type Variant struct {
+	FS   string
+	Bugs []string
+}
+
+// Entry is one studied or new bug with its trigger workload.
+type Entry struct {
+	// ID is the appendix identifier ("W1".."W24", "N1".."N11").
+	ID string
+	// Title is the consequence summary from the appendix tables.
+	Title string
+	// Text is the workload in the workload language (empty for the two
+	// out-of-bounds bugs).
+	Text string
+	// Variants lists the file systems (and their mechanisms) affected.
+	Variants []Variant
+	// Expect is the set of acceptable primary consequences; the checker
+	// may classify one bug under adjacent labels (e.g. a size-0 data loss
+	// reports as WrongSize).
+	Expect []bugs.Consequence
+	// New marks Table 5 discoveries.
+	New bool
+	// OutOfBounds marks the two studied bugs outside B3's bounds.
+	OutOfBounds bool
+}
+
+// Reproduced returns the appendix 9.1 workloads (24 entries).
+func Reproduced() []Entry {
+	var out []Entry
+	for _, e := range corpus {
+		if !e.New && !e.OutOfBounds {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// NewBugs returns the appendix 9.2 workloads (11 entries).
+func NewBugs() []Entry {
+	var out []Entry
+	for _, e := range corpus {
+		if e.New {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OutOfBounds returns the two studied bugs B3 cannot reproduce (§3).
+func OutOfBounds() []Entry {
+	var out []Entry
+	for _, e := range corpus {
+		if e.OutOfBounds {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByID finds a corpus entry.
+func ByID(id string) (Entry, bool) {
+	for _, e := range corpus {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// All returns the full corpus.
+func All() []Entry { return append([]Entry(nil), corpus...) }
+
+func c(cs ...bugs.Consequence) []bugs.Consequence { return cs }
+
+var corpus = []Entry{
+	{
+		ID: "W1", Title: "persisted file missing after rename and recreate",
+		Expect: c(bugs.FileMissing, bugs.RenameBothLost),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-rename-old-file-lost-on-new-fsync"}},
+			{FS: "f2fsim", Bugs: []string{"f2fs-rename-old-file-lost-on-new-fsync"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+write /A/foo 0 16384
+sync
+rename /A/foo /A/bar
+creat /A/foo
+write /A/foo 0 4096
+fsync /A/foo
+`,
+	},
+	{
+		ID: "W2", Title: "blocks allocated beyond EOF lost after fdatasync",
+		Expect: c(bugs.BlocksLost),
+		Variants: []Variant{
+			{FS: "journalfs", Bugs: []string{"ext4-fdatasync-falloc-keepsize"}},
+			{FS: "f2fsim", Bugs: []string{"f2fs-fdatasync-falloc-keepsize"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 8192
+fsync /foo
+falloc -k /foo 8192 8192
+fdatasync /foo
+`,
+	},
+	{
+		ID: "W3", Title: "file system unmountable after linking special file",
+		Expect: c(bugs.Unmountable),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-special-file-link-replay-fail"}},
+		},
+		Text: `
+mkdir /A
+mkfifo /A/foo
+creat /A/dummy
+fsync /A/dummy
+rename /A/foo /A/bar
+link /A/bar /A/foo
+remove /A/dummy
+fsync /A/bar
+`,
+	},
+	{
+		ID: "W4", Title: "direct write past on-disk size recovers to size 0",
+		Expect: c(bugs.WrongSize),
+		Variants: []Variant{
+			{FS: "journalfs", Bugs: []string{"ext4-dwrite-disksize"}},
+		},
+		Text: `
+creat /foo
+sync
+write /foo 16384 4096
+dwrite /foo 0 4096
+`,
+	},
+	{
+		ID: "W5", Title: "file system unmountable after unlink and link (Figure 1)",
+		Expect: c(bugs.Unmountable),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-link-unlink-replay-fail"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+link /A/foo /A/bar
+sync
+unlink /A/bar
+creat /A/bar
+fsync /A/bar
+`,
+	},
+	{
+		ID: "W6", Title: "unable to create new files after recovery",
+		Expect: c(bugs.CannotCreateFiles),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-objectid-not-restored"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+fsync /A/foo
+`,
+	},
+	{
+		ID: "W7", Title: "persisted file missing after rename out of logged dir",
+		Expect: c(bugs.FileMissing, bugs.RenameBothLost),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-replay-drops-renamed-from-dir"}},
+		},
+		Text: `
+mkdir /A
+mkdir /B
+mkdir /C
+creat /A/foo
+link /A/foo /B/foo_link
+creat /B/bar
+sync
+unlink /B/foo_link
+rename /B/bar /C/bar
+fsync /A/foo
+`,
+	},
+	{
+		ID: "W8", Title: "renamed directory and its contents missing",
+		Expect: c(bugs.FileMissing, bugs.RenameBothLost),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-new-dir-replay-drops-renamed-subtree"}},
+		},
+		Text: `
+mkdir /A
+mkdir /A/B
+mkdir /A/C
+creat /A/B/foo
+creat /A/B/bar
+sync
+rename /A/B /A/C
+mkdir /A/B
+fsync /A/B
+`,
+	},
+	{
+		ID: "W9", Title: "rename persists files in both directories",
+		Expect: c(bugs.FileInBothLocations),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-moved-entries-persist-in-both"}},
+		},
+		Text: `
+mkdir /A
+mkdir /B
+creat /A/foo
+mkdir /B/C
+creat /B/baz
+sync
+link /A/foo /A/bar
+rename /B/baz /A/baz
+rename /B/C /A/C
+fsync /A/foo
+`,
+	},
+	{
+		ID: "W10", Title: "empty symlink after fsync of parent directory",
+		Expect: c(bugs.EmptySymlink),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-dir-fsync-empty-symlink"}},
+		},
+		Text: `
+mkdir /A
+sync
+symlink /foo /A/bar
+fsync /A
+`,
+	},
+	{
+		ID: "W11", Title: "persisted file missing after fsync of renamed file",
+		Expect: c(bugs.FileMissing),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-rename-fsync-loses-new-occupant"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+fsync /A
+fsync /A/foo
+rename /A/foo /A/bar
+creat /A/foo
+fsync /A/bar
+`,
+	},
+	{
+		ID: "W12", Title: "extent map not persisted for overlapping punch holes",
+		Expect: c(bugs.HoleNotPersisted),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-overlapping-punch-holes-lost"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 135168
+sync
+punch_hole /foo 32768 98304
+punch_hole /foo 65536 131072
+punch_hole /foo 98304 32768
+fsync /foo
+`,
+	},
+	{
+		ID: "W13", Title: "directory un-removable after link replay",
+		Expect: c(bugs.UnremovableDir),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-replay-add-accounting"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+creat /A/bar
+sync
+link /A/foo /A/foo_link
+link /A/bar /A/bar_link
+fsync /A/bar
+`,
+	},
+	{
+		ID: "W14", Title: "second ranged msync not persisted",
+		Expect: c(bugs.DataLoss),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-ranged-msync-second-lost"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 262144
+sync
+mwrite /foo 0 4096
+mwrite /foo 258048 4096
+msync /foo 0 65536
+msync /foo 196608 65536
+`,
+	},
+	{
+		ID: "W15", Title: "directory un-removable after removing linked file",
+		Expect: c(bugs.UnremovableDir),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-replay-del-accounting"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+sync
+link /A/foo /A/bar
+sync
+unlink /A/bar
+fsync /A/foo
+`,
+	},
+	{
+		ID: "W16", Title: "data lost after fsync following hard link",
+		Expect: c(bugs.WrongSize, bugs.DataLoss),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-fsync-after-link-data-lost"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+sync
+write /A/foo 0 16384
+link /A/foo /A/bar
+fsync /A/foo
+`,
+	},
+	{
+		ID: "W17", Title: "punch hole of partial page not persisted",
+		Expect: c(bugs.DataLoss, bugs.HoleNotPersisted),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-partial-page-punch-not-logged"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 16384
+fsync /foo
+punch_hole /foo 8000 4096
+fsync /foo
+`,
+	},
+	{
+		ID: "W18", Title: "removexattr not persisted by fsync",
+		Expect: c(bugs.XattrInconsistent),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-xattr-delete-replay"}},
+		},
+		Text: `
+creat /foo
+setxattr /foo user.u1 val1
+setxattr /foo user.u2 val2
+setxattr /foo user.u3 val3
+sync
+removexattr /foo user.u2
+fsync /foo
+`,
+	},
+	{
+		ID: "W19", Title: "directory un-removable after multi-link unlink",
+		Expect: c(bugs.UnremovableDir),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-replay-unlink-accounting"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+sync
+link /A/foo /A/bar1
+link /A/foo /A/bar2
+sync
+unlink /A/bar2
+fsync /A/foo
+`,
+	},
+	{
+		ID: "W20", Title: "renamed file missing after directory fsync",
+		Expect: c(bugs.WrongLocation),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-dir-fsync-subtree-rename-not-logged"}},
+		},
+		Text: `
+mkdir /A
+mkdir /A/B
+mkdir /C
+creat /A/B/foo
+sync
+rename /A/B/foo /C/foo
+creat /A/bar
+fsync /A
+`,
+	},
+	{
+		ID: "W21", Title: "directory un-removable after fsync of dir and file",
+		Expect: c(bugs.UnremovableDir),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-dir-fsync-size-accounting"}},
+		},
+		Text: `
+mkdir /A
+creat /A/foo
+sync
+creat /A/bar
+fsync /A
+fsync /A/bar
+`,
+	},
+	{
+		ID: "W22", Title: "persisted file missing after fsync of renamed file",
+		Expect: c(bugs.WrongLocation, bugs.FileMissing),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-fsync-renamed-file-not-logged"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 4096
+sync
+rename /foo /bar
+fsync /bar
+`,
+	},
+	{
+		ID: "W23", Title: "appended data lost after link",
+		Expect: c(bugs.WrongSize, bugs.DataLoss),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-append-after-link-lost"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 32768
+sync
+link /foo /bar
+sync
+write /foo 32768 32768
+fsync /foo
+`,
+	},
+	{
+		ID: "W24", Title: "directory un-removable after rename into it",
+		Expect: c(bugs.UnremovableDir),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-rename-into-dir-accounting"}},
+		},
+		Text: `
+creat /foo
+mkdir /A
+fsync /foo
+sync
+rename /foo /A/bar
+fsync /A
+fsync /A/bar
+`,
+	},
+
+	// ---- out-of-bounds studied bugs (§3) ------------------------------
+	{
+		ID: "OOB1", Title: "bug requiring drop_caches during the workload",
+		Expect:      c(bugs.Unmountable),
+		Variants:    []Variant{{FS: "logfs", Bugs: []string{"btrfs-dropcaches-required"}}},
+		OutOfBounds: true,
+	},
+	{
+		ID: "OOB2", Title: "bug requiring 3000 pre-existing hard links",
+		Expect:      c(bugs.FileMissing),
+		Variants:    []Variant{{FS: "logfs", Bugs: []string{"btrfs-3000-hardlinks"}}},
+		OutOfBounds: true,
+	},
+
+	// ---- new bugs (appendix 9.2 / Table 5) ----------------------------
+	{
+		ID: "N1", Title: "rename atomicity broken: file disappears", New: true,
+		Expect: c(bugs.RenameBothLost, bugs.FileMissing),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-rename-atomicity-target-lost"}},
+		},
+		Text: `
+mkdir /A
+creat /A/bar
+fsync /A/bar
+mkdir /B
+creat /B/bar
+rename /B/bar /A/bar
+creat /A/foo
+fsync /A/foo
+fsync /A
+`,
+	},
+	{
+		ID: "N2", Title: "rename atomicity broken: file in both locations", New: true,
+		Expect: c(bugs.FileInBothLocations),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-rename-atomicity-both-locations"}},
+		},
+		Text: `
+mkdir /A
+mkdir /A/C
+rename /A/C /B
+creat /B/bar
+fsync /B/bar
+rename /B/bar /A/bar
+rename /A /B
+fsync /B/bar
+`,
+	},
+	{
+		ID: "N3", Title: "directory not persisted by fsync", New: true,
+		Expect: c(bugs.FileMissing, bugs.DirEntryMissing),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-dir-fsync-new-subdir-items-missing"}},
+		},
+		Text: `
+mkdir /A
+mkdir /B
+mkdir /A/C
+creat /B/foo
+fsync /B/foo
+link /B/foo /A/C/foo
+fsync /A
+`,
+	},
+	{
+		ID: "N4", Title: "rename not persisted by fsync of renamed directory", New: true,
+		Expect: c(bugs.WrongLocation),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-fsync-renamed-dir-not-logged"}},
+		},
+		Text: `
+mkdir /A
+sync
+rename /A /B
+creat /B/foo
+fsync /B/foo
+fsync /B
+`,
+	},
+	{
+		ID: "N5", Title: "hard links not persisted by fsync", New: true,
+		Expect: c(bugs.DirEntryMissing),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{
+				"btrfs-fsync-skips-new-name-already-logged",
+				"btrfs-fsync-logs-single-name"}},
+		},
+		Text: `
+mkdir /A
+mkdir /B
+creat /A/foo
+link /A/foo /B/foo
+fsync /A/foo
+fsync /B/foo
+`,
+	},
+	{
+		ID: "N6", Title: "directory entry missing after fsync on directory", New: true,
+		Expect: c(bugs.FileMissing, bugs.DirEntryMissing),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-dir-fsync-skips-unlogged-children"}},
+		},
+		Text: `
+mkdir /test
+mkdir /test/A
+creat /test/foo
+creat /test/A/foo
+fsync /test/A/foo
+fsync /test
+`,
+	},
+	{
+		ID: "N7", Title: "fsync on file does not persist all its paths", New: true,
+		Expect: c(bugs.DirEntryMissing),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-fsync-logs-single-name"}},
+		},
+		Text: `
+creat /foo
+mkdir /A
+link /foo /A/bar
+fsync /foo
+`,
+	},
+	{
+		ID: "N8", Title: "allocated blocks lost after fsync", New: true,
+		Expect: c(bugs.BlocksLost),
+		Variants: []Variant{
+			{FS: "logfs", Bugs: []string{"btrfs-fsync-drops-beyond-eof-extents"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 16384
+fsync /foo
+falloc -k /foo 16384 4096
+fsync /foo
+`,
+	},
+	{
+		ID: "N9", Title: "file recovers to incorrect size after zero_range", New: true,
+		Expect: c(bugs.WrongSize),
+		Variants: []Variant{
+			{FS: "f2fsim", Bugs: []string{"f2fs-zero-range-keep-size-size"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 16384
+fsync /foo
+zero_range -k /foo 16384 4096
+fsync /foo
+`,
+	},
+	{
+		ID: "N10", Title: "persisted file ends up in a different directory", New: true,
+		Expect: c(bugs.WrongLocation),
+		Variants: []Variant{
+			{FS: "f2fsim", Bugs: []string{"f2fs-renamed-dir-child-old-loc"}},
+		},
+		Text: `
+mkdir /A
+sync
+rename /A /B
+creat /B/foo
+fsync /B/foo
+`,
+	},
+	{
+		ID: "N11", Title: "FSCQ data loss via fdatasync", New: true,
+		Expect: c(bugs.WrongSize, bugs.DataLoss),
+		Variants: []Variant{
+			{FS: "fscqsim", Bugs: []string{"fscq-fdatasync-logged-writes"}},
+		},
+		Text: `
+creat /foo
+write /foo 0 4096
+sync
+write /foo 4096 4096
+fdatasync /foo
+`,
+	},
+}
+
+// Validate cross-checks the corpus against the bug registry; tests call it.
+func Validate() error {
+	for _, e := range corpus {
+		if !e.OutOfBounds && e.Text == "" {
+			return fmt.Errorf("study: entry %s has no workload", e.ID)
+		}
+		for _, v := range e.Variants {
+			for _, id := range v.Bugs {
+				b, ok := bugs.ByID(id)
+				if !ok {
+					return fmt.Errorf("study: entry %s references unknown bug %q", e.ID, id)
+				}
+				if b.FS != v.FS {
+					return fmt.Errorf("study: entry %s: bug %s belongs to %s, not %s",
+						e.ID, id, b.FS, v.FS)
+				}
+			}
+		}
+	}
+	return nil
+}

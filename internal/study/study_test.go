@@ -1,0 +1,189 @@
+package study
+
+import (
+	"strings"
+	"testing"
+
+	"b3/internal/bugs"
+	"b3/internal/crashmonkey"
+	"b3/internal/fsmake"
+	"b3/internal/workload"
+)
+
+func TestCorpusValidates(t *testing.T) {
+	if err := Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorpusShape(t *testing.T) {
+	if got := len(Reproduced()); got != 24 {
+		t.Fatalf("reproduced corpus = %d, want 24 (paper: 24 of 26)", got)
+	}
+	if got := len(NewBugs()); got != 11 {
+		t.Fatalf("new-bug corpus = %d, want 11 (Table 5)", got)
+	}
+	if got := len(OutOfBounds()); got != 2 {
+		t.Fatalf("out-of-bounds = %d, want 2", got)
+	}
+}
+
+// TestAppendixBugsReproduce is the headline reproduction: every appendix
+// workload, run through CrashMonkey against its file system with the bug
+// mechanisms active, produces the expected consequence — and produces no
+// findings at all on the fixed file system.
+func TestAppendixBugsReproduce(t *testing.T) {
+	for _, entry := range All() {
+		if entry.OutOfBounds {
+			continue
+		}
+		entry := entry
+		t.Run(entry.ID, func(t *testing.T) {
+			w, err := workload.Parse(entry.ID, entry.Text)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, variant := range entry.Variants {
+				over := map[string]bool{}
+				for _, id := range variant.Bugs {
+					over[id] = true
+				}
+				buggyFS, err := fsmake.New(variant.FS, bugs.Latest, over)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := (&crashmonkey.Monkey{FS: buggyFS}).Run(w)
+				if err != nil {
+					t.Fatalf("%s on %s: %v", entry.ID, variant.FS, err)
+				}
+				if !res.Buggy() {
+					t.Fatalf("%s on %s: bug not detected", entry.ID, variant.FS)
+				}
+				if !consequenceMatches(res, entry.Expect) {
+					t.Fatalf("%s on %s: consequence %v not in expected %v (findings: %v)",
+						entry.ID, variant.FS, res.Primary().Consequence, entry.Expect, res.Findings)
+				}
+
+				fixedFS, err := fsmake.Fixed(variant.FS)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clean, err := (&crashmonkey.Monkey{FS: fixedFS}).Run(w)
+				if err != nil {
+					t.Fatalf("%s on fixed %s: %v", entry.ID, variant.FS, err)
+				}
+				if clean.Buggy() {
+					t.Fatalf("%s on fixed %s: false positive: %v",
+						entry.ID, variant.FS, clean.Findings)
+				}
+			}
+		})
+	}
+}
+
+// TestReproducedAtReportedKernel validates the per-kernel-version matrix:
+// each studied bug reproduces on the simulated kernel it was reported
+// against (Table 1's seven kernel versions).
+func TestReproducedAtReportedKernel(t *testing.T) {
+	for _, entry := range Reproduced() {
+		w, err := workload.Parse(entry.ID, entry.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, variant := range entry.Variants {
+			var reported bugs.Version
+			for _, id := range variant.Bugs {
+				if b, ok := bugs.ByID(id); ok {
+					reported = b.Reported
+				}
+			}
+			if reported.IsZero() {
+				t.Fatalf("%s: no reported kernel", entry.ID)
+			}
+			fs, err := fsmake.AtVersion(variant.FS, reported)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := (&crashmonkey.Monkey{FS: fs}).Run(w)
+			if err != nil {
+				t.Fatalf("%s on %s@%s: %v", entry.ID, variant.FS, reported, err)
+			}
+			if !res.Buggy() {
+				t.Fatalf("%s does not reproduce on %s at kernel %s",
+					entry.ID, variant.FS, reported)
+			}
+		}
+	}
+}
+
+// TestNewBugsReproduceAtLatest: the Table 5 bugs all reproduce at 4.16 with
+// the version-derived (not hand-picked) bug sets — the configuration the
+// paper's two-day campaign ran against.
+func TestNewBugsReproduceAtLatest(t *testing.T) {
+	for _, entry := range NewBugs() {
+		w, err := workload.Parse(entry.ID, entry.Text)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, variant := range entry.Variants {
+			fs, err := fsmake.AtVersion(variant.FS, bugs.Latest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := (&crashmonkey.Monkey{FS: fs}).Run(w)
+			if err != nil {
+				t.Fatalf("%s on %s@4.16: %v", entry.ID, variant.FS, err)
+			}
+			if !res.Buggy() {
+				t.Fatalf("new bug %s does not reproduce on %s at 4.16", entry.ID, variant.FS)
+			}
+		}
+	}
+}
+
+func consequenceMatches(res *crashmonkey.Result, expect []bugs.Consequence) bool {
+	for _, f := range res.Findings {
+		for _, want := range expect {
+			if f.Consequence == want {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestTable1Rendering(t *testing.T) {
+	out := Table1()
+	for _, want := range []string{
+		"Corruption                         19",
+		"Data Inconsistency                  6",
+		"Un-mountable file system            3",
+		"btrfs                              24",
+		"ext4                                2",
+		"F2FS                                2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	out := Table2()
+	if !strings.Contains(out, "btrfs") || !strings.Contains(out, "ext4") || !strings.Contains(out, "F2FS") {
+		t.Fatalf("Table 2 incomplete:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got < 7 {
+		t.Fatalf("Table 2 should have 5 rows:\n%s", out)
+	}
+}
+
+func TestTable5Rendering(t *testing.T) {
+	out := Table5(nil)
+	if strings.Count(out, "*") != 11 {
+		t.Fatalf("Table 5 should mark 11 bugs:\n%s", out)
+	}
+	if !strings.Contains(out, "FSCQ") {
+		t.Fatalf("Table 5 missing FSCQ row:\n%s", out)
+	}
+}

@@ -1,0 +1,131 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"b3/internal/bugs"
+	"b3/internal/fsmake"
+)
+
+// Table1 reproduces the paper's Table 1: the 26 unique studied bugs (28
+// reports; two bugs appear on two file systems) broken down by consequence,
+// kernel version, file system, and number of core operations.
+func Table1() string {
+	studied := bugs.StudiedBugs()
+	var sb strings.Builder
+	sb.WriteString("Table 1: Analyzing crash-consistency bugs (26 unique bugs, 28 reports)\n\n")
+
+	byBucket := map[bugs.Bucket]int{}
+	for _, b := range studied {
+		byBucket[b.TableBucket]++
+	}
+	sb.WriteString("Consequence                    # bugs\n")
+	for _, bucket := range []bugs.Bucket{bugs.BucketCorruption, bugs.BucketDataInconsistency, bugs.BucketUnmountable} {
+		fmt.Fprintf(&sb, "%-30s %6d\n", bucket, byBucket[bucket])
+	}
+	fmt.Fprintf(&sb, "%-30s %6d\n\n", "Total", len(studied))
+
+	byKernel := map[string]int{}
+	for _, b := range studied {
+		byKernel[b.Reported.String()]++
+	}
+	kernels := make([]string, 0, len(byKernel))
+	for k := range byKernel {
+		kernels = append(kernels, k)
+	}
+	sort.Slice(kernels, func(i, j int) bool {
+		vi, _ := bugs.ParseVersion(kernels[i])
+		vj, _ := bugs.ParseVersion(kernels[j])
+		return vi.Before(vj)
+	})
+	sb.WriteString("Kernel Version                 # bugs\n")
+	for _, k := range kernels {
+		fmt.Fprintf(&sb, "%-30s %6d\n", k, byKernel[k])
+	}
+	fmt.Fprintf(&sb, "%-30s %6d\n\n", "Total", len(studied))
+
+	byFS := map[string]int{}
+	for _, b := range studied {
+		byFS[fsmake.Kernel(b.FS)]++
+	}
+	sb.WriteString("File System                    # bugs\n")
+	for _, fs := range []string{"ext4", "F2FS", "btrfs"} {
+		fmt.Fprintf(&sb, "%-30s %6d\n", fs, byFS[fs])
+	}
+	fmt.Fprintf(&sb, "%-30s %6d\n\n", "Total", len(studied))
+
+	// #ops over unique bugs.
+	opsByBug := map[string]int{}
+	for _, b := range studied {
+		key := b.ID
+		if len(b.Workloads) > 0 {
+			key = b.Workloads[0]
+		}
+		opsByBug[key] = b.NumOps
+	}
+	byOps := map[int]int{}
+	for _, n := range opsByBug {
+		byOps[n]++
+	}
+	sb.WriteString("# of ops required              # bugs\n")
+	total := 0
+	for _, n := range []int{1, 2, 3} {
+		fmt.Fprintf(&sb, "%-30d %6d\n", n, byOps[n])
+		total += byOps[n]
+	}
+	fmt.Fprintf(&sb, "%-30s %6d\n", "Total", total)
+	return sb.String()
+}
+
+// table2IDs are the five example bugs of the paper's Table 2, in order.
+var table2IDs = []struct {
+	workload string
+	fs       string
+	ops      string
+}{
+	{"W21", "logfs", "creat(A/x), creat(A/y)"},
+	{"W16", "logfs", "pwrite(x), link(x,y)"},
+	{"W19", "logfs", "link(x,A/x), link(x,A/y), unlink(A/y)"},
+	{"W1", "f2fsim", "pwrite(x), rename(x,y), pwrite(x)"},
+	{"W4", "journalfs", "pwrite(x), direct write(x)"},
+}
+
+// Table2 reproduces the paper's Table 2: five example bugs.
+func Table2() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2: Examples of crash-consistency bugs\n\n")
+	sb.WriteString("Bug#  File System  Consequence                              # ops  ops involved\n")
+	for i, row := range table2IDs {
+		entry, ok := ByID(row.workload)
+		if !ok {
+			continue
+		}
+		var bug bugs.Bug
+		for _, v := range entry.Variants {
+			if v.FS == row.fs && len(v.Bugs) > 0 {
+				bug, _ = bugs.ByID(v.Bugs[0])
+			}
+		}
+		fmt.Fprintf(&sb, "%-5d %-12s %-40s %-6d %s\n",
+			i+1, fsmake.Kernel(row.fs), bug.Consequence, bug.NumOps, row.ops)
+	}
+	return sb.String()
+}
+
+// Table5 reproduces the paper's Table 5: the newly discovered bugs.
+func Table5(found map[string]bool) string {
+	var sb strings.Builder
+	sb.WriteString("Table 5: Newly discovered bugs\n\n")
+	sb.WriteString("Bug#  File System  Consequence                                        #ops  Since  Found\n")
+	for i, b := range bugs.NewBugs() {
+		mark := " "
+		if found == nil || found[b.ID] {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%-5d %-12s %-50s %-5d %-6s %s\n",
+			i+1, fsmake.Kernel(b.FS), b.Title, b.NumOps, b.Introduced, mark)
+	}
+	return sb.String()
+}

@@ -1,0 +1,81 @@
+// Package xfstests models the state of crash-consistency testing before B3
+// (§2): a regression suite whose crash tests replay previously reported bug
+// workloads. Regression tests are "aimed at avoiding the recurrence of the
+// same bug over time, but do not generalize to identifying variants" — this
+// package exists to reproduce that comparison: the suite passes on a 4.16
+// file system that still contains all ten Table 5 bugs.
+package xfstests
+
+import (
+	"fmt"
+
+	"b3/internal/crashmonkey"
+	"b3/internal/filesys"
+	"b3/internal/study"
+	"b3/internal/workload"
+)
+
+// Test is one canned regression test: a fixed workload for a fixed bug.
+type Test struct {
+	Name     string
+	Workload *workload.Workload
+	// FSNames are the file systems the regression applies to.
+	FSNames []string
+}
+
+// Suite is the regression suite.
+type Suite struct {
+	Tests []Test
+}
+
+// RegressionSuite builds the suite from the reproduced-bug corpus: exactly
+// the tests a diligent maintainer would have written for the bugs reported
+// over the previous five years (§3).
+func RegressionSuite() (*Suite, error) {
+	s := &Suite{}
+	for _, entry := range study.Reproduced() {
+		w, err := workload.Parse("xfstests-"+entry.ID, entry.Text)
+		if err != nil {
+			return nil, fmt.Errorf("xfstests: %s: %w", entry.ID, err)
+		}
+		var fses []string
+		for _, v := range entry.Variants {
+			fses = append(fses, v.FS)
+		}
+		s.Tests = append(s.Tests, Test{Name: entry.ID, Workload: w, FSNames: fses})
+	}
+	return s, nil
+}
+
+// Result summarises a suite run.
+type Result struct {
+	Ran      int
+	Failures []string // test names that flagged a bug
+}
+
+// Run executes every applicable regression test against fs and reports
+// which ones flag bugs.
+func (s *Suite) Run(fs filesys.FileSystem) (*Result, error) {
+	mk := &crashmonkey.Monkey{FS: fs}
+	res := &Result{}
+	for _, test := range s.Tests {
+		applies := false
+		for _, name := range test.FSNames {
+			if name == fs.Name() {
+				applies = true
+			}
+		}
+		if !applies {
+			continue
+		}
+		res.Ran++
+		out, err := mk.Run(test.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("xfstests: %s: %w", test.Name, err)
+		}
+		if out.Buggy() {
+			res.Failures = append(res.Failures, test.Name)
+		}
+	}
+	return res, nil
+}

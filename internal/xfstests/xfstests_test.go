@@ -1,0 +1,55 @@
+package xfstests
+
+import (
+	"testing"
+
+	"b3/internal/bugs"
+	"b3/internal/fsmake"
+)
+
+// TestRegressionSuitePassesAt416 reproduces the §2/§6.2 comparison: the
+// regression suite (tests for all previously reported bugs) passes on the
+// 4.16 btrfs-like file system even though it still carries the ten Table 5
+// bugs — regression testing does not generalize; systematic testing does.
+func TestRegressionSuitePassesAt416(t *testing.T) {
+	suite, err := RegressionSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fsmake.Names() {
+		fs, err := fsmake.NewBugsOnly(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := suite.Run(fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Failures) != 0 {
+			t.Errorf("%s: regressions %v failed on the campaign configuration", name, res.Failures)
+		}
+	}
+}
+
+// TestRegressionSuiteCatchesAtReportedKernels sanity-checks the suite: each
+// regression does catch its own bug on the kernel it was reported against.
+func TestRegressionSuiteCatchesAtReportedKernels(t *testing.T) {
+	suite, err := RegressionSuite()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite.Tests) != 24 {
+		t.Fatalf("suite has %d tests, want 24", len(suite.Tests))
+	}
+	fs, err := fsmake.AtVersion("logfs", bugs.MustVersion("3.12"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := suite.Run(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) == 0 {
+		t.Fatal("old kernel should fail some regressions")
+	}
+}
