@@ -168,11 +168,24 @@ type Campaign struct {
 	// DedupKnown seeds the §5.3 known-bug database from the studied-bug
 	// corpus, so only new bugs are reported.
 	DedupKnown bool
+	// FinalOnly tests only the final persistence point of each workload
+	// (the paper's §5.3 strategy); the default crash-tests every
+	// persistence point with representative pruning.
+	FinalOnly bool
+	// NoPrune disables representative crash-state pruning — the
+	// cross-check mode: identical bug verdicts, every state checked.
+	NoPrune bool
+	// CorpusDir persists per-workload progress to an append-only JSONL
+	// shard under this directory; Resume skips workloads already recorded
+	// there, so a killed campaign continues where it stopped.
+	CorpusDir string
+	Resume    bool
 }
 
 // RunCampaign executes the campaign and returns its statistics.
 func RunCampaign(c Campaign) (*CampaignStats, error) {
 	bounds := ace.Default(1)
+	label := "campaign"
 	if c.Bounds != nil {
 		bounds = *c.Bounds
 	} else if c.Profile != "" {
@@ -181,6 +194,7 @@ func RunCampaign(c Campaign) (*CampaignStats, error) {
 		if err != nil {
 			return nil, err
 		}
+		label = string(c.Profile)
 	}
 	cfg := campaign.Config{
 		FS:           c.FS,
@@ -188,6 +202,11 @@ func RunCampaign(c Campaign) (*CampaignStats, error) {
 		Workers:      c.Workers,
 		MaxWorkloads: c.MaxWorkloads,
 		SampleEvery:  c.SampleEvery,
+		FinalOnly:    c.FinalOnly,
+		NoPrune:      c.NoPrune,
+		CorpusDir:    c.CorpusDir,
+		ProfileLabel: label,
+		Resume:       c.Resume,
 	}
 	if c.DedupKnown {
 		cfg.KnownDB = KnownBugDB(c.FS.Name())

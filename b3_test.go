@@ -28,6 +28,53 @@ fsync /foo
 	}
 }
 
+// TestFacadeCampaignKnobs drives the pruning and corpus knobs through the
+// public API: a seq-1 campaign persisted to a corpus, then resumed, with
+// pruning stats populated; and a --no-prune run agreeing on the verdicts.
+func TestFacadeCampaignKnobs(t *testing.T) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	stats, err := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1, CorpusDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StatesPruned == 0 || stats.StatesChecked == 0 {
+		t.Fatalf("pruning stats missing: %+v", stats)
+	}
+	if stats.CorpusPath == "" {
+		t.Fatal("corpus path not reported")
+	}
+	if !strings.Contains(stats.Summary(), "pruned") {
+		t.Fatal("Summary does not report pruning")
+	}
+
+	resumed, err := b3.RunCampaign(b3.Campaign{
+		FS: fs, Profile: b3.Seq1, CorpusDir: dir, Resume: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == 0 || resumed.Tested != stats.Tested || resumed.Failed != stats.Failed {
+		t.Fatalf("resume of a finished campaign diverged: resumed=%d tested=%d/%d failed=%d/%d",
+			resumed.Resumed, resumed.Tested, stats.Tested, resumed.Failed, stats.Failed)
+	}
+
+	plain, err := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1, NoPrune: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.StatesPruned != 0 {
+		t.Fatal("NoPrune still pruned")
+	}
+	if plain.Failed != stats.Failed || len(plain.Groups) != len(stats.Groups) {
+		t.Fatalf("no-prune verdicts diverged: failed %d vs %d, groups %d vs %d",
+			plain.Failed, stats.Failed, len(plain.Groups), len(stats.Groups))
+	}
+}
+
 func TestFacadeFSConfigs(t *testing.T) {
 	for _, name := range b3.FSNames() {
 		for _, cfg := range []b3.FSConfig{b3.FixedConfig(), b3.CampaignConfig(), {}} {

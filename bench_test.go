@@ -242,6 +242,44 @@ func BenchmarkTable5Seq1Campaign(b *testing.B) {
 	}
 }
 
+// ---- Representative crash-state pruning -------------------------------------
+
+// benchPruningSeq2 runs a bounded seq-2 campaign in one of three modes so
+// EXPERIMENTS.md can compare them: exhaustive testing with pruning
+// (default), exhaustive without pruning (--no-prune cross-check), and the
+// paper's §5.3 final-checkpoint-only strategy. Reported metrics: oracle
+// checks actually run vs crash states constructed.
+func benchPruningSeq2(b *testing.B, noPrune, finalOnly bool) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := ace.Default(2)
+	bounds.Ops = []workload.OpKind{workload.OpCreat, workload.OpLink,
+		workload.OpRename, workload.OpFalloc}
+	for i := 0; i < b.N; i++ {
+		stats, err := b3.RunCampaign(b3.Campaign{
+			FS:           fs,
+			Bounds:       &bounds,
+			SampleEvery:  3,
+			MaxWorkloads: 30000,
+			NoPrune:      noPrune,
+			FinalOnly:    finalOnly,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(stats.StatesTotal), "states")
+		b.ReportMetric(float64(stats.StatesChecked), "checks")
+		b.ReportMetric(float64(stats.StatesPruned), "pruned")
+		b.ReportMetric(float64(len(stats.Groups)), "bug-groups")
+	}
+}
+
+func BenchmarkPruningSeq2(b *testing.B)          { benchPruningSeq2(b, false, false) }
+func BenchmarkPruningSeq2NoPrune(b *testing.B)   { benchPruningSeq2(b, true, false) }
+func BenchmarkPruningSeq2FinalOnly(b *testing.B) { benchPruningSeq2(b, true, true) }
+
 // ---- Figure 5: report grouping and dedup -----------------------------------
 
 func BenchmarkFigure5Dedup(b *testing.B) {

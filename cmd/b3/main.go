@@ -4,6 +4,9 @@
 //	b3 -find-new-bugs                       # Table 5: campaign at 4.16
 //	b3 -table4                              # Table 4 workload counts
 //	b3 -profile seq-2 -fs logfs -sample 10  # sampled seq-2 sweep
+//	b3 -profile seq-2 -corpus runs/         # resumable: progress on disk
+//	b3 -profile seq-2 -corpus runs/ -resume # continue a killed campaign
+//	b3 -profile seq-2 -no-prune             # cross-check: no state pruning
 //	b3 -reproduce                           # appendix: 24 known bugs
 package main
 
@@ -29,18 +32,37 @@ func main() {
 		maxW      = flag.Int64("max", 0, "stop generation after this many workloads")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		dedup     = flag.Bool("dedup-known", true, "suppress bug groups matching the known-bug database (§5.3)")
+		noPrune   = flag.Bool("no-prune", false, "disable representative crash-state pruning (cross-check mode: every state checked)")
+		finalOnly = flag.Bool("final-only", false, "test only the final persistence point of each workload (the paper's §5.3 strategy)")
+		corpusDir = flag.String("corpus", "", "persist campaign progress to JSONL shards under this directory")
+		resume    = flag.Bool("resume", false, "resume an interrupted campaign from the -corpus shard")
 	)
 	flag.Parse()
+	if *resume && *corpusDir == "" {
+		fmt.Fprintln(os.Stderr, "b3: -resume requires -corpus DIR")
+		os.Exit(2)
+	}
 
 	switch {
 	case *table4:
 		runTable4(*sample, *maxW)
 	case *findNew:
-		runFindNewBugs(*workers, *sample)
+		runFindNewBugs(campaignOpts{
+			workers: *workers, sample: *sample,
+			noPrune: *noPrune, finalOnly: *finalOnly,
+			corpusDir: *corpusDir, resume: *resume,
+		})
 	case *reproduce:
 		runReproduce()
 	case *profile != "":
-		runProfile(*profile, *fsName, *workers, *sample, *maxW, *dedup)
+		runProfile(profileRun{
+			campaignOpts: campaignOpts{
+				workers: *workers, sample: *sample,
+				noPrune: *noPrune, finalOnly: *finalOnly,
+				corpusDir: *corpusDir, resume: *resume,
+			},
+			profile: *profile, fs: *fsName, maxW: *maxW, dedup: *dedup,
+		})
 	default:
 		fmt.Fprintln(os.Stderr, "b3: choose one of -find-new-bugs, -table4, -reproduce, -profile (see -h)")
 		os.Exit(2)
@@ -71,7 +93,16 @@ func runTable4(sample, maxW int64) {
 	fmt.Printf("%-18s %12d %9.1fs\n", "Total", total, time.Since(start).Seconds())
 }
 
-func runFindNewBugs(workers int, sample int64) {
+// campaignOpts carries the shared campaign tuning flags.
+type campaignOpts struct {
+	workers            int
+	sample             int64
+	noPrune, finalOnly bool
+	corpusDir          string
+	resume             bool
+}
+
+func runFindNewBugs(o campaignOpts) {
 	fmt.Println("=== Table 5 campaign: seq-1 + seq-2 on every file system at kernel 4.16")
 	fmt.Println("(previously reported bugs patched; undiscovered bugs live)")
 	found := map[string]bool{}
@@ -82,8 +113,11 @@ func runFindNewBugs(workers int, sample int64) {
 		}
 		for _, p := range []b3.ProfileName{b3.Seq1, b3.Seq2} {
 			stats, err := b3.RunCampaign(b3.Campaign{
-				FS: fs, Profile: p, Workers: workers,
-				SampleEvery: sample, DedupKnown: true,
+				FS: fs, Profile: p, Workers: o.workers,
+				SampleEvery: o.sample, DedupKnown: true,
+				NoPrune: o.noPrune, FinalOnly: o.finalOnly,
+				// Each (fs, profile) pair gets its own corpus shard.
+				CorpusDir: o.corpusDir, Resume: o.resume,
 			})
 			if err != nil {
 				fatal(err)
@@ -171,14 +205,23 @@ func runReproduce() {
 	}
 }
 
-func runProfile(profile, fsName string, workers int, sample, maxW int64, dedup bool) {
-	fs, err := b3.NewFS(fsName, b3.CampaignConfig())
+type profileRun struct {
+	campaignOpts
+	profile, fs string
+	maxW        int64
+	dedup       bool
+}
+
+func runProfile(r profileRun) {
+	fs, err := b3.NewFS(r.fs, b3.CampaignConfig())
 	if err != nil {
 		fatal(err)
 	}
 	stats, err := b3.RunCampaign(b3.Campaign{
-		FS: fs, Profile: b3.ProfileName(profile), Workers: workers,
-		SampleEvery: sample, MaxWorkloads: maxW, DedupKnown: dedup,
+		FS: fs, Profile: b3.ProfileName(r.profile), Workers: r.workers,
+		SampleEvery: r.sample, MaxWorkloads: r.maxW, DedupKnown: r.dedup,
+		NoPrune: r.noPrune, FinalOnly: r.finalOnly,
+		CorpusDir: r.corpusDir, Resume: r.resume,
 	})
 	if err != nil {
 		fatal(err)

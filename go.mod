@@ -1,0 +1,3 @@
+module b3
+
+go 1.24

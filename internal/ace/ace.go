@@ -14,6 +14,7 @@ package ace
 
 import (
 	"fmt"
+	"hash/fnv"
 
 	"b3/internal/filesys"
 	"b3/internal/fstree"
@@ -118,6 +119,16 @@ func Default(seqLen int) Bounds {
 		IncludeFdatasync: true,
 		XattrNames:       []string{"user.u1", "user.u2"},
 	}
+}
+
+// Fingerprint returns a stable hash string identifying the exact workload
+// space, generation order included: equal fingerprints mean Generate emits
+// the same workloads with the same sequence numbers. Campaign corpora use
+// it to refuse resuming against a different space.
+func (b Bounds) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v", b)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // ProfileName selects one of the Table 4 workload sets.

@@ -1,0 +1,44 @@
+package blockdev
+
+import "encoding/binary"
+
+// Fingerprinting supports representative crash-state pruning (after Gu et
+// al., "Scalable and Accurate Application-Level Crash-Consistency Testing
+// via Representative Testing"): most crash states constructed during a
+// campaign are byte-identical to one already checked, so the checker keys a
+// verdict cache on a content hash of the state instead of re-running the
+// oracle. A crash state is a COW overlay over a pristine base image, so its
+// identity is exactly the set of dirty blocks and their contents.
+
+// FNV-1a parameters, exported so fingerprint composers elsewhere (the
+// crashmonkey oracle hasher) stay bit-compatible with HashBytes.
+const (
+	FNVOffset uint64 = 14695981039346656037
+	FNVPrime  uint64 = 1099511628211
+)
+
+// HashBytes folds b into an FNV-1a style hash, consuming eight bytes per
+// round so fingerprinting block-sized buffers stays off the profile.
+func HashBytes(h uint64, b []byte) uint64 {
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * FNVPrime
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * FNVPrime
+	}
+	return h
+}
+
+// Fingerprint returns a content hash of the overlay: the dirty block
+// numbers and their data, iterated in ascending block order so the hash is
+// independent of write order. Two snapshots of the same base with equal
+// fingerprints hold byte-identical device contents.
+func (s *Snapshot) Fingerprint() uint64 {
+	h := FNVOffset
+	for _, n := range s.DirtyBlocks() {
+		h = (h ^ uint64(n)) * FNVPrime
+		h = HashBytes(h, s.overlay[n])
+	}
+	return h
+}

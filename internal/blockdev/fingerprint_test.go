@@ -1,0 +1,78 @@
+package blockdev
+
+import "testing"
+
+func TestFingerprintOrderIndependent(t *testing.T) {
+	base := NewMemDisk(64)
+	a := NewSnapshot(base)
+	b := NewSnapshot(base)
+	one, two := make([]byte, BlockSize), make([]byte, BlockSize)
+	one[0], two[0] = 1, 2
+
+	a.WriteBlock(3, one)
+	a.WriteBlock(9, two)
+	b.WriteBlock(9, two)
+	b.WriteBlock(3, one)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("write order changed the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishesContentAndPlacement(t *testing.T) {
+	base := NewMemDisk(64)
+	one, two := make([]byte, BlockSize), make([]byte, BlockSize)
+	one[100], two[100] = 7, 8
+
+	mk := func(block int64, data []byte) uint64 {
+		s := NewSnapshot(base)
+		s.WriteBlock(block, data)
+		return s.Fingerprint()
+	}
+	if mk(3, one) == mk(3, two) {
+		t.Fatal("different content, same fingerprint")
+	}
+	if mk(3, one) == mk(4, one) {
+		t.Fatal("same content at different block, same fingerprint")
+	}
+}
+
+func TestFingerprintTracksOverwrites(t *testing.T) {
+	base := NewMemDisk(8)
+	data := make([]byte, BlockSize)
+	data[0] = 1
+
+	a := NewSnapshot(base)
+	a.WriteBlock(0, data)
+	want := a.Fingerprint()
+
+	// Overwriting a block with new content and then restoring it must
+	// converge to the same fingerprint: identity is contents, not history.
+	b := NewSnapshot(base)
+	other := make([]byte, BlockSize)
+	other[0] = 99
+	b.WriteBlock(0, other)
+	if b.Fingerprint() == want {
+		t.Fatal("distinct contents collided")
+	}
+	b.WriteBlock(0, data)
+	if b.Fingerprint() != want {
+		t.Fatal("restored contents did not restore the fingerprint")
+	}
+}
+
+func TestHashBytesTailHandling(t *testing.T) {
+	// The word loop plus byte tail must hash every length distinctly from
+	// its neighbours (no dropped tail bytes).
+	seen := map[uint64]int{}
+	for n := 0; n <= 24; n++ {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(i + 1)
+		}
+		h := HashBytes(FNVOffset, b)
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("lengths %d and %d collided", prev, n)
+		}
+		seen[h] = n
+	}
+}

@@ -3,10 +3,23 @@
 // them (the in-process analogue of the paper's 780-VM cluster, §6.1), and
 // reports are grouped and deduplicated (§5.3). It also gathers the
 // performance and resource statistics of §6.3–§6.5.
+//
+// Two departures from the paper make campaigns scale further:
+//
+//   - Every persistence point of a workload is crash-tested (the paper's
+//     §5.3 strategy tested only the last), with representative crash-state
+//     pruning reusing verdicts for states already judged — so the broader
+//     coverage costs little more than final-only testing. FinalOnly and
+//     NoPrune restore the paper's behaviour.
+//   - Progress can be persisted to an append-only per-profile corpus shard
+//     (internal/corpus), checkpointed periodically, and resumed after a
+//     kill: generation is deterministic, so recorded sequence numbers are
+//     skipped and their verdicts folded back into the statistics.
 package campaign
 
 import (
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"strings"
 	"sync"
@@ -15,6 +28,7 @@ import (
 
 	"b3/internal/ace"
 	"b3/internal/bugs"
+	"b3/internal/corpus"
 	"b3/internal/crashmonkey"
 	"b3/internal/filesys"
 	"b3/internal/report"
@@ -39,6 +53,42 @@ type Config struct {
 	// SkipWriteChecks speeds up large sweeps at the cost of missing
 	// un-removable-dir and cannot-create consequences.
 	SkipWriteChecks bool
+
+	// FinalOnly restores the paper's §5.3 strategy of testing only the
+	// final persistence point of each workload. The default crash-tests
+	// every persistence point.
+	FinalOnly bool
+	// NoPrune disables representative crash-state pruning: every crash
+	// state is checked against the oracle. This is the cross-check mode —
+	// it must produce the identical set of bug verdicts, only slower.
+	NoPrune bool
+
+	// CorpusDir, when set, persists per-workload progress to an
+	// append-only JSONL shard under this directory (internal/corpus).
+	CorpusDir string
+	// ProfileLabel names the shard (cosmetic; the shard key always
+	// includes the configuration fingerprint). Defaults to "campaign".
+	ProfileLabel string
+	// Resume loads the corpus shard and skips workloads already recorded,
+	// folding their verdicts into the statistics. The shard must have been
+	// written by a campaign with the same bounds and testing options.
+	Resume bool
+	// CheckpointEvery overrides the corpus fsync interval in records
+	// (0 = corpus.DefaultFlushEvery).
+	CheckpointEvery int
+}
+
+// configFingerprint identifies everything that determines per-workload
+// verdicts and sequence numbering, so a corpus shard is only resumed by a
+// compatible campaign. Prune mode is deliberately excluded: pruning is
+// verdict-preserving, so progress survives toggling it.
+func (cfg *Config) configFingerprint() string {
+	sample := cfg.SampleEvery
+	if sample <= 0 {
+		sample = 1
+	}
+	return fmt.Sprintf("%s|sample=%d|final=%t|writechecks=%t",
+		cfg.Bounds.Fingerprint(), sample, cfg.FinalOnly, !cfg.SkipWriteChecks)
 }
 
 // Stats is the campaign outcome.
@@ -48,6 +98,23 @@ type Stats struct {
 	Tested    int64
 	Failed    int64
 	Errors    int64
+
+	// Crash-state accounting: states constructed, oracle checks actually
+	// run, and checks skipped by representative pruning (split by tier).
+	StatesTotal   int64
+	StatesChecked int64
+	StatesPruned  int64
+	PrunedDisk    int64
+	PrunedTree    int64
+	// DistinctStates is the number of distinct disk-tier (state, oracle)
+	// pairs the prune cache ended up holding (0 when pruning is off).
+	// Tree-tier entries are a subset view and not included.
+	DistinctStates int64
+
+	// Resumed counts workloads whose verdicts were folded in from the
+	// corpus shard instead of being re-tested; CorpusPath is the shard.
+	Resumed    int64
+	CorpusPath string
 
 	Groups      []*report.Group
 	FreshGroups []*report.Group
@@ -79,6 +146,15 @@ func (s *Stats) TestRate() float64 {
 	return float64(s.Tested) / s.Elapsed.Seconds()
 }
 
+// PruneRate returns the fraction of crash states whose oracle check was
+// skipped.
+func (s *Stats) PruneRate() float64 {
+	if s.StatesTotal == 0 {
+		return 0
+	}
+	return float64(s.StatesPruned) / float64(s.StatesTotal)
+}
+
 // AvgDirtyBytes reports the mean COW overlay footprint per workload (§6.5).
 func (s *Stats) AvgDirtyBytes() int64 {
 	if s.DirtySample == 0 {
@@ -87,8 +163,21 @@ func (s *Stats) AvgDirtyBytes() int64 {
 	return s.TotalDirty / s.DirtySample
 }
 
+// counters aggregates worker-side statistics.
+type counters struct {
+	tested, failed, errs       atomic.Int64
+	statesTotal, statesChecked atomic.Int64
+	statesPruned               atomic.Int64
+	prunedDisk, prunedTree     atomic.Int64
+	profNS, replayNS, checkNS  atomic.Int64
+	dirtyTot, dirtyN, dirtyMax atomic.Int64
+}
+
 // Run executes the campaign.
 func Run(cfg Config) (*Stats, error) {
+	if cfg.Resume && cfg.CorpusDir == "" {
+		return nil, fmt.Errorf("campaign: Resume requires CorpusDir")
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -101,66 +190,148 @@ func Run(cfg Config) (*Stats, error) {
 	stats := &Stats{FSName: cfg.FS.Name()}
 	start := time.Now()
 
+	var cache *crashmonkey.PruneCache
+	if !cfg.NoPrune {
+		cache = crashmonkey.NewPruneCache()
+	}
+
+	var (
+		shard *corpus.Shard
+		done  map[int64]*corpus.WorkloadRecord
+	)
+	if cfg.CorpusDir != "" {
+		label := cfg.ProfileLabel
+		if label == "" {
+			label = "campaign"
+		}
+		// The key hashes the FULL config fingerprint (not just the bounds),
+		// so differently-configured campaigns never share — or truncate —
+		// each other's shard. The Meta check below still guards against
+		// hash collisions and hand-moved files.
+		fph := fnv.New64a()
+		fph.Write([]byte(cfg.configFingerprint()))
+		key := fmt.Sprintf("%s__%s__%016x", cfg.FS.Name(), label, fph.Sum64())
+		meta := corpus.Meta{
+			FS:      cfg.FS.Name(),
+			Profile: label,
+			Bounds:  cfg.configFingerprint(),
+		}
+		var err error
+		if cfg.Resume {
+			shard, done, err = corpus.Resume(cfg.CorpusDir, key, meta)
+		} else {
+			shard, err = corpus.Create(cfg.CorpusDir, key, meta)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		if cfg.CheckpointEvery > 0 {
+			shard.FlushEvery = cfg.CheckpointEvery
+		}
+		stats.CorpusPath = shard.Path()
+		defer shard.Close()
+	}
+
 	type job struct {
-		w *workload.Workload
+		w   *workload.Workload
+		seq int64
 	}
 	jobs := make(chan job, 4*workers)
 
 	var (
-		mu       sync.Mutex
-		reports  []*report.Report
-		tested   atomic.Int64
-		failed   atomic.Int64
-		errs     atomic.Int64
-		profNS   atomic.Int64
-		replayNS atomic.Int64
-		checkNS  atomic.Int64
-		dirtyTot atomic.Int64
-		dirtyN   atomic.Int64
-		dirtyMax atomic.Int64
+		mu      sync.Mutex
+		reports []*report.Report
+		cnt     counters
+
+		corpusMu     sync.Mutex
+		corpusErr    error
+		corpusFailed atomic.Bool
 	)
+	appendRecord := func(rec *corpus.WorkloadRecord) {
+		if shard == nil {
+			return
+		}
+		if err := shard.Append(rec); err != nil {
+			corpusMu.Lock()
+			if corpusErr == nil {
+				corpusErr = err
+			}
+			corpusMu.Unlock()
+			corpusFailed.Store(true)
+		}
+	}
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			mk := &crashmonkey.Monkey{FS: cfg.FS, SkipWriteChecks: cfg.SkipWriteChecks}
+			mk := &crashmonkey.Monkey{
+				FS:              cfg.FS,
+				SkipWriteChecks: cfg.SkipWriteChecks,
+				Prune:           cache,
+			}
 			for j := range jobs {
-				p, err := mk.ProfileWorkload(j.w)
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				if p.Checkpoints() == 0 {
-					continue
-				}
-				res, err := mk.TestCheckpoint(p, p.Checkpoints())
-				if err != nil {
-					errs.Add(1)
-					continue
-				}
-				tested.Add(1)
-				profNS.Add(int64(p.ProfileDur))
-				replayNS.Add(int64(res.ReplayDur))
-				checkNS.Add(int64(res.CheckDur))
-				dirtyTot.Add(p.DirtyBytes)
-				dirtyN.Add(1)
-				for {
-					cur := dirtyMax.Load()
-					if p.DirtyBytes <= cur || dirtyMax.CompareAndSwap(cur, p.DirtyBytes) {
-						break
-					}
-				}
-				if res.Buggy() {
-					failed.Add(1)
-					r := report.FromResult(res)
+				runWorkload(mk, j.w, j.seq, cfg.FinalOnly, &cnt, func(r *report.Report) {
 					mu.Lock()
 					reports = append(reports, r)
 					mu.Unlock()
-				}
+				}, appendRecord)
 			}
 		}()
+	}
+
+	// foldRecord replays one recorded workload verdict into the run: state
+	// counts and reports fold in even for workloads that later errored.
+	// Timing and dirty-byte aggregates are deliberately not restored —
+	// records carry verdicts, not durations — so Summary averages those
+	// over live workloads only.
+	foldRecord := func(rec *corpus.WorkloadRecord) {
+		stats.Resumed++
+		cnt.statesTotal.Add(int64(rec.States))
+		if cfg.NoPrune {
+			// The shard may have been written with pruning on (prune mode
+			// is excluded from the config fingerprint on purpose). A
+			// no-prune run must keep its StatesChecked == StatesTotal
+			// invariant, so recorded prune-skips count as checked here —
+			// their verdicts were established, just via the cache.
+			cnt.statesChecked.Add(int64(rec.Checked) + int64(rec.Pruned))
+		} else {
+			cnt.statesChecked.Add(int64(rec.Checked))
+			cnt.statesPruned.Add(int64(rec.Pruned))
+		}
+		if rec.Errored || rec.Verdict == corpus.VerdictError {
+			cnt.errs.Add(1)
+		} else if rec.States > 0 {
+			cnt.tested.Add(1)
+		}
+		if rec.Verdict == corpus.VerdictBuggy {
+			cnt.failed.Add(1)
+		}
+		for _, rr := range rec.Reports {
+			findings := make([]crashmonkey.Finding, 0, len(rr.Findings))
+			for _, f := range rr.Findings {
+				findings = append(findings, crashmonkey.Finding{
+					Consequence: bugs.Consequence(f.Consequence),
+					Path:        f.Path,
+					Detail:      f.Detail,
+				})
+			}
+			skeleton := rr.Skeleton
+			if skeleton == "" {
+				skeleton = rec.Skeleton
+			}
+			mu.Lock()
+			reports = append(reports, &report.Report{
+				FSName:      cfg.FS.Name(),
+				WorkloadID:  rec.ID,
+				Skeleton:    skeleton,
+				Consequence: bugs.Consequence(rr.Primary),
+				Findings:    findings,
+				Workload:    rec.Workload,
+			})
+			mu.Unlock()
+		}
 	}
 
 	genStart := time.Now()
@@ -170,13 +341,22 @@ func Run(cfg Config) (*Stats, error) {
 		if cfg.MaxWorkloads > 0 && stats.Generated >= cfg.MaxWorkloads {
 			return false
 		}
+		// A failed corpus write fails the whole campaign; stop feeding it
+		// instead of testing for hours and then discarding the results.
+		if corpusFailed.Load() {
+			return false
+		}
 		stats.Generated++
 		if stats.Generated%sample != 0 {
 			return true
 		}
+		if rec, ok := done[stats.Generated]; ok {
+			foldRecord(rec)
+			return true
+		}
 		// Workloads are mutated downstream only via their own structures;
 		// each emitted workload is freshly built, so hand it off directly.
-		jobs <- job{w: w}
+		jobs <- job{w: w, seq: stats.Generated}
 		return true
 	})
 	close(jobs)
@@ -185,17 +365,36 @@ func Run(cfg Config) (*Stats, error) {
 	if genErr != nil {
 		return nil, fmt.Errorf("campaign: generation: %w", genErr)
 	}
+	if corpusErr != nil {
+		return nil, fmt.Errorf("campaign: corpus: %w", corpusErr)
+	}
+	// Close explicitly so a failed final checkpoint surfaces instead of
+	// vanishing in the deferred (idempotent) Close.
+	if shard != nil {
+		if err := shard.Close(); err != nil {
+			return nil, fmt.Errorf("campaign: corpus: %w", err)
+		}
+	}
 	stats.Generated = generated
 
-	stats.Tested = tested.Load()
-	stats.Failed = failed.Load()
-	stats.Errors = errs.Load()
-	stats.ProfileDur = time.Duration(profNS.Load())
-	stats.ReplayDur = time.Duration(replayNS.Load())
-	stats.CheckDur = time.Duration(checkNS.Load())
-	stats.TotalDirty = dirtyTot.Load()
-	stats.DirtySample = dirtyN.Load()
-	stats.MaxDirty = dirtyMax.Load()
+	stats.Tested = cnt.tested.Load()
+	stats.Failed = cnt.failed.Load()
+	stats.Errors = cnt.errs.Load()
+	stats.StatesTotal = cnt.statesTotal.Load()
+	stats.StatesChecked = cnt.statesChecked.Load()
+	stats.StatesPruned = cnt.statesPruned.Load()
+	stats.PrunedDisk = cnt.prunedDisk.Load()
+	stats.PrunedTree = cnt.prunedTree.Load()
+	if cache != nil {
+		cs := cache.Stats()
+		stats.DistinctStates = cs.DiskStates
+	}
+	stats.ProfileDur = time.Duration(cnt.profNS.Load())
+	stats.ReplayDur = time.Duration(cnt.replayNS.Load())
+	stats.CheckDur = time.Duration(cnt.checkNS.Load())
+	stats.TotalDirty = cnt.dirtyTot.Load()
+	stats.DirtySample = cnt.dirtyN.Load()
+	stats.MaxDirty = cnt.dirtyMax.Load()
 	stats.Elapsed = time.Since(start)
 
 	stats.Groups = report.GroupReports(reports)
@@ -207,6 +406,97 @@ func Run(cfg Config) (*Stats, error) {
 	return stats, nil
 }
 
+// runWorkload profiles one workload and crash-tests its persistence points,
+// reporting buggy states and recording the outcome to the corpus.
+func runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq int64,
+	finalOnly bool, cnt *counters, emit func(*report.Report),
+	record func(*corpus.WorkloadRecord)) {
+
+	rec := &corpus.WorkloadRecord{Seq: seq, ID: w.ID, Verdict: corpus.VerdictClean}
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		cnt.errs.Add(1)
+		rec.Verdict = corpus.VerdictError
+		rec.Errored = true
+		record(rec)
+		return
+	}
+	last := p.Checkpoints()
+	if last == 0 {
+		record(rec)
+		return
+	}
+	cnt.profNS.Add(int64(p.ProfileDur))
+	cnt.dirtyTot.Add(p.DirtyBytes)
+	cnt.dirtyN.Add(1)
+	for {
+		cur := cnt.dirtyMax.Load()
+		if p.DirtyBytes <= cur || cnt.dirtyMax.CompareAndSwap(cur, p.DirtyBytes) {
+			break
+		}
+	}
+
+	first := 1
+	if finalOnly {
+		first = last
+	}
+	for cp := first; cp <= last; cp++ {
+		res, err := mk.TestCheckpoint(p, cp)
+		if err != nil {
+			// Earlier checkpoints may already have found bugs; keep those
+			// reports and verdicts, just stop testing this workload.
+			cnt.errs.Add(1)
+			rec.Errored = true
+			break
+		}
+		rec.States++
+		cnt.statesTotal.Add(1)
+		if res.Pruned {
+			rec.Pruned++
+			cnt.statesPruned.Add(1)
+			if res.PrunedBy == "disk" {
+				cnt.prunedDisk.Add(1)
+			} else {
+				cnt.prunedTree.Add(1)
+			}
+		} else {
+			rec.Checked++
+			cnt.statesChecked.Add(1)
+		}
+		cnt.replayNS.Add(int64(res.ReplayDur))
+		cnt.checkNS.Add(int64(res.CheckDur))
+		if res.Buggy() {
+			rec.Verdict = corpus.VerdictBuggy
+			r := report.FromResult(res)
+			emit(r)
+			cr := corpus.ReportRecord{
+				Checkpoint: cp,
+				Primary:    uint8(res.Primary().Consequence),
+				Skeleton:   r.Skeleton,
+			}
+			for _, f := range res.Findings {
+				cr.Findings = append(cr.Findings, corpus.Finding{
+					Consequence: uint8(f.Consequence),
+					Path:        f.Path,
+					Detail:      f.Detail,
+				})
+			}
+			rec.Reports = append(rec.Reports, cr)
+		}
+	}
+	if rec.Verdict == corpus.VerdictBuggy {
+		cnt.failed.Add(1)
+		rec.Skeleton = w.Skeleton()
+		rec.Workload = w.String()
+	} else if rec.Errored {
+		rec.Verdict = corpus.VerdictError
+	}
+	if !rec.Errored {
+		cnt.tested.Add(1)
+	}
+	record(rec)
+}
+
 // Summary renders the campaign outcome in a Table 4/Table 5 flavoured form.
 func (s *Stats) Summary() string {
 	var sb strings.Builder
@@ -215,13 +505,30 @@ func (s *Stats) Summary() string {
 	if len(s.KnownGroups) > 0 {
 		fmt.Fprintf(&sb, " (%d known, %d new)", len(s.KnownGroups), len(s.FreshGroups))
 	}
+	fmt.Fprintf(&sb, "\ncrash states: %d constructed, %d checked, %d pruned",
+		s.StatesTotal, s.StatesChecked, s.StatesPruned)
+	if s.StatesPruned > 0 {
+		if s.PrunedDisk+s.PrunedTree > 0 {
+			// Tier split is only known for states pruned live this run
+			// (resumed records carry the totals, not the split).
+			fmt.Fprintf(&sb, " (%d identical-disk, %d identical-tree; %.0f%% of oracle checks skipped)",
+				s.PrunedDisk, s.PrunedTree, 100*s.PruneRate())
+		} else {
+			fmt.Fprintf(&sb, " (%.0f%% of oracle checks skipped)", 100*s.PruneRate())
+		}
+	}
+	if s.Resumed > 0 {
+		fmt.Fprintf(&sb, "\nresumed: %d workloads folded in from %s", s.Resumed, s.CorpusPath)
+	}
 	fmt.Fprintf(&sb, "\nelapsed %.2fs (gen %.0f/s, test %.0f/s)",
 		s.Elapsed.Seconds(), s.GenRate(), s.TestRate())
-	if s.Tested > 0 {
-		fmt.Fprintf(&sb, "\nper workload: profile %s, crash-state %s, check %s; avg dirty %d KiB",
-			time.Duration(int64(s.ProfileDur)/s.Tested),
-			time.Duration(int64(s.ReplayDur)/s.Tested),
-			time.Duration(int64(s.CheckDur)/s.Tested),
+	// Timing and memory figures exist only for live-profiled workloads
+	// (DirtySample); resumed records fold verdicts, not durations.
+	if live := s.DirtySample; live > 0 {
+		fmt.Fprintf(&sb, "\nper live workload: profile %s, crash-state %s, check %s; avg dirty %d KiB",
+			time.Duration(int64(s.ProfileDur)/live),
+			time.Duration(int64(s.ReplayDur)/live),
+			time.Duration(int64(s.CheckDur)/live),
 			s.AvgDirtyBytes()/1024)
 	}
 	sb.WriteByte('\n')

@@ -28,6 +28,10 @@ func TestSeq1CampaignOnFixedFSIsClean(t *testing.T) {
 	if stats.Errors != 0 {
 		t.Fatalf("%d workload errors", stats.Errors)
 	}
+	if stats.StatesChecked+stats.StatesPruned != stats.StatesTotal {
+		t.Fatalf("state accounting broken: %d checked + %d pruned != %d total",
+			stats.StatesChecked, stats.StatesPruned, stats.StatesTotal)
+	}
 }
 
 // TestSeq1FindsSingleOpBugs reproduces the §6.2 observation: "even
@@ -57,20 +61,16 @@ func TestSeq1FindsSingleOpBugs(t *testing.T) {
 	}
 }
 
-func TestSampledSeq2FindsLinkBugs(t *testing.T) {
-	fs, err := fsmake.NewBugsOnly("logfs")
-	if err != nil {
-		t.Fatal(err)
-	}
+// linkBounds is a focused seq-2 vocabulary that reaches the multi-op link
+// bugs while keeping campaign tests fast.
+func linkBounds(ops ...workload.OpKind) ace.Bounds {
 	b := ace.Default(2)
-	// Focus the vocabulary to keep the test fast while exercising the
-	// multi-op pipeline.
-	b.Ops = []workload.OpKind{workload.OpCreat, workload.OpLink,
-		workload.OpRename, workload.OpFalloc}
-	stats, err := Run(Config{FS: fs, Bounds: b, SampleEvery: 3})
-	if err != nil {
-		t.Fatal(err)
-	}
+	b.Ops = ops
+	return b
+}
+
+func assertLinkBugsFound(t *testing.T, stats *Stats) {
+	t.Helper()
 	if stats.Failed == 0 {
 		t.Fatal("seq-2 sweep found nothing at 4.16")
 	}
@@ -81,6 +81,224 @@ func TestSampledSeq2FindsLinkBugs(t *testing.T) {
 	// N7: link + fsync loses the second name.
 	if !found[bugs.DirEntryMissing] && !found[bugs.FileMissing] {
 		t.Fatalf("expected missing-entry bugs from link workloads:\n%s", stats.Summary())
+	}
+}
+
+func TestSampledSeq2FindsLinkBugs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sampled seq-2 sweep takes ~30s; TestShortSeq2FindsLinkBugs covers it under -short")
+	}
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(Config{
+		FS: fs,
+		Bounds: linkBounds(workload.OpCreat, workload.OpLink,
+			workload.OpRename, workload.OpFalloc),
+		SampleEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLinkBugsFound(t, stats)
+}
+
+// TestShortSeq2FindsLinkBugs is the reduced-bound variant of the sweep
+// above: a two-op vocabulary still drives the multi-op pipeline and finds
+// the link bugs, in seconds instead of tens of seconds.
+func TestShortSeq2FindsLinkBugs(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(Config{
+		FS:          fs,
+		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertLinkBugsFound(t, stats)
+}
+
+// TestPruneCrossCheck is the acceptance gate for representative pruning: a
+// pruned campaign must check measurably fewer crash states than --no-prune
+// while reporting the identical set of bug verdicts.
+func TestPruneCrossCheck(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  3,
+		MaxWorkloads: 6000,
+	}
+	pruned, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPrune := cfg
+	noPrune.NoPrune = true
+	plain, err := Run(noPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.StatesPruned != 0 || plain.StatesChecked != plain.StatesTotal {
+		t.Fatalf("no-prune mode pruned: %+v", plain)
+	}
+	if pruned.StatesTotal != plain.StatesTotal {
+		t.Fatalf("modes saw different state counts: %d vs %d", pruned.StatesTotal, plain.StatesTotal)
+	}
+	if pruned.StatesChecked >= plain.StatesChecked {
+		t.Fatalf("pruning checked no fewer states: %d vs %d", pruned.StatesChecked, plain.StatesChecked)
+	}
+	if pruned.Failed != plain.Failed {
+		t.Fatalf("verdicts diverged: %d vs %d failing workloads", pruned.Failed, plain.Failed)
+	}
+	assertSameGroups(t, pruned, plain)
+	t.Logf("checked %d of %d states (no-prune: %d); %d disk hits, %d tree hits",
+		pruned.StatesChecked, pruned.StatesTotal, plain.StatesChecked,
+		pruned.PrunedDisk, pruned.PrunedTree)
+}
+
+func assertSameGroups(t *testing.T, a, b *Stats) {
+	t.Helper()
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("group counts diverged: %d vs %d", len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		ga, gb := a.Groups[i], b.Groups[i]
+		if ga.Key != gb.Key {
+			t.Fatalf("group %d key diverged: %+v vs %+v", i, ga.Key, gb.Key)
+		}
+		if len(ga.Reports) != len(gb.Reports) {
+			t.Fatalf("group %d (%v) sizes diverged: %d vs %d reports",
+				i, ga.Key, len(ga.Reports), len(gb.Reports))
+		}
+	}
+}
+
+// TestResumeMatchesUninterrupted is the acceptance gate for the corpus: a
+// campaign killed partway and resumed must complete with the same totals
+// and bug groups as an uninterrupted run.
+func TestResumeMatchesUninterrupted(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  3,
+		MaxWorkloads: 6000,
+	}
+	uninterrupted, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// "Kill" the campaign partway: stop generation early. Everything the
+	// partial run tested is checkpointed to the corpus shard.
+	partial := base
+	partial.CorpusDir = dir
+	partial.MaxWorkloads = 2500
+	partial.CheckpointEvery = 16
+	if _, err := Run(partial); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := base
+	resume.CorpusDir = dir
+	resume.Resume = true
+	resumed, err := Run(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resumed.Resumed == 0 {
+		t.Fatal("resume folded in no recorded workloads")
+	}
+	if resumed.Generated != uninterrupted.Generated ||
+		resumed.Tested != uninterrupted.Tested ||
+		resumed.Failed != uninterrupted.Failed ||
+		resumed.Errors != uninterrupted.Errors ||
+		resumed.StatesTotal != uninterrupted.StatesTotal {
+		t.Fatalf("resumed totals diverged:\nresumed: gen=%d tested=%d failed=%d errors=%d states=%d\nbaseline: gen=%d tested=%d failed=%d errors=%d states=%d",
+			resumed.Generated, resumed.Tested, resumed.Failed, resumed.Errors, resumed.StatesTotal,
+			uninterrupted.Generated, uninterrupted.Tested, uninterrupted.Failed, uninterrupted.Errors, uninterrupted.StatesTotal)
+	}
+	assertSameGroups(t, resumed, uninterrupted)
+
+	// A second resume of the finished campaign re-tests nothing.
+	again, err := Run(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Resumed != again.Tested+again.Errors {
+		t.Fatalf("finished campaign re-tested workloads: resumed=%d tested=%d errors=%d",
+			again.Resumed, again.Tested, again.Errors)
+	}
+	if again.Failed != uninterrupted.Failed {
+		t.Fatalf("replayed totals diverged: %d vs %d", again.Failed, uninterrupted.Failed)
+	}
+	assertSameGroups(t, again, uninterrupted)
+}
+
+// TestResumeIsolatesDifferentSpaces: a corpus shard is keyed by the full
+// configuration fingerprint, so a differently-configured campaign — even a
+// non-resume one — gets its own shard and can never truncate or silently
+// mix sequence numbers with an existing one.
+func TestResumeIsolatesDifferentSpaces(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  3,
+		MaxWorkloads: 300,
+		CorpusDir:    dir,
+		ProfileLabel: "space-test",
+	}
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same bounds, different sampling: distinct sequence numbering, so the
+	// resume must start a fresh shard rather than reuse recorded seqs.
+	other := cfg
+	other.Resume = true
+	other.SampleEvery = 7
+	stats, err := Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 0 {
+		t.Fatalf("a different sampling rate reused %d recorded workloads", stats.Resumed)
+	}
+	if stats.CorpusPath == first.CorpusPath {
+		t.Fatal("differently-configured campaigns shared a shard file")
+	}
+
+	// The original shard survived and still resumes cleanly.
+	again := cfg
+	again.Resume = true
+	replay, err := Run(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replay.Resumed == 0 || replay.Failed != first.Failed {
+		t.Fatalf("original shard damaged: resumed=%d failed=%d want %d",
+			replay.Resumed, replay.Failed, first.Failed)
 	}
 }
 

@@ -1,0 +1,366 @@
+// Package corpus persists campaign progress as an append-only JSONL corpus
+// so long-running B3 campaigns can be sharded by profile, checkpointed
+// periodically, and resumed after a kill. Each shard is one file named
+// after the campaign key (file system + profile/bounds fingerprint); its
+// first line is a Meta record binding the shard to the exact workload
+// space, and every following line records the verdict of one workload —
+// including the findings of each buggy crash state, so a resumed campaign
+// reconstructs the same bug groups and totals as an uninterrupted run.
+//
+// ACE generation is exhaustive and deterministic, so a workload is
+// identified by its 1-based sequence number in generation order: a resumed
+// campaign replays generation, skips sequence numbers already recorded, and
+// folds the recorded outcomes back into its statistics.
+//
+// Crash robustness: records are buffered and fsynced every FlushEvery
+// appends (a checkpoint). A kill can lose at most the unflushed tail and
+// can tear at most the final line; Load tolerates a torn last line, and
+// lost records are simply re-tested on resume.
+package corpus
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// ErrNoMeta marks a shard with no complete meta record — a writer killed
+// before its very first fsync. The writer fsyncs the meta line before any
+// workload record, so such a shard can hold no usable records and is safe
+// to recreate.
+var ErrNoMeta = errors.New("corpus: missing meta record")
+
+// FormatVersion is bumped when the record schema changes incompatibly.
+const FormatVersion = 1
+
+// DefaultFlushEvery is the default checkpoint interval in records.
+const DefaultFlushEvery = 64
+
+// Workload verdicts. A workload that found bugs before erroring keeps
+// VerdictBuggy (its reports are real) with Errored set alongside.
+const (
+	VerdictClean = "clean" // every crash state passed the oracle
+	VerdictBuggy = "buggy" // at least one crash state failed
+	VerdictError = "error" // the workload errored before any state failed
+)
+
+// Meta binds a shard to one campaign configuration. A shard may only be
+// resumed by a campaign with an identical Meta (modulo Format).
+type Meta struct {
+	Format int `json:"format"`
+	// FS is the file system under test.
+	FS string `json:"fs"`
+	// Profile is the human-chosen profile name, if any.
+	Profile string `json:"profile,omitempty"`
+	// Bounds fingerprints the exact ACE workload space, so a shard cannot
+	// be resumed against a different generation order.
+	Bounds string `json:"bounds"`
+}
+
+// Finding mirrors crashmonkey.Finding for persistence. Consequence is the
+// numeric bugs.Consequence value.
+type Finding struct {
+	Consequence uint8  `json:"c"`
+	Path        string `json:"p"`
+	Detail      string `json:"d,omitempty"`
+}
+
+// ReportRecord is one buggy crash state of a workload.
+type ReportRecord struct {
+	// Checkpoint is the 1-based persistence point that was crashed at.
+	Checkpoint int `json:"cp"`
+	// Primary is the numeric consequence of the most severe finding (the
+	// report-group key).
+	Primary uint8 `json:"primary"`
+	// Skeleton is the grouping skeleton for this crash point (the workload
+	// prefix up to the crashed checkpoint).
+	Skeleton string    `json:"skeleton,omitempty"`
+	Findings []Finding `json:"findings"`
+}
+
+// WorkloadRecord is the outcome of one tested workload.
+type WorkloadRecord struct {
+	// Seq is the workload's 1-based position in ACE generation order.
+	Seq int64 `json:"seq"`
+	// ID is the generated workload ID ("ace-<seq>").
+	ID      string `json:"id"`
+	Verdict string `json:"verdict"`
+	// Errored marks a workload whose testing stopped on an error; set
+	// together with VerdictBuggy when earlier crash states already failed.
+	Errored bool `json:"errored,omitempty"`
+	// States, Checked, Pruned are the crash-state counts for the workload:
+	// total states constructed, oracle checks actually run, and checks
+	// skipped by representative pruning.
+	States  int `json:"states"`
+	Checked int `json:"checked"`
+	Pruned  int `json:"pruned"`
+	// Skeleton and Workload carry what report grouping needs; recorded
+	// only for buggy workloads to keep shards small.
+	Skeleton string         `json:"skeleton,omitempty"`
+	Workload string         `json:"workload,omitempty"`
+	Reports  []ReportRecord `json:"reports,omitempty"`
+}
+
+// line is the JSONL envelope: exactly one field is set per line.
+type line struct {
+	Meta     *Meta           `json:"meta,omitempty"`
+	Workload *WorkloadRecord `json:"workload,omitempty"`
+}
+
+// ShardPath returns the file a campaign key is stored under.
+func ShardPath(dir, key string) string {
+	return filepath.Join(dir, sanitizeKey(key)+".jsonl")
+}
+
+// sanitizeKey maps a campaign key to a safe file stem.
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, key)
+}
+
+// Shard is an open, append-only corpus shard.
+type Shard struct {
+	mu      sync.Mutex
+	f       *os.File
+	bw      *bufio.Writer
+	path    string
+	pending int
+	closed  bool
+	// FlushEvery is the checkpoint interval in records (default
+	// DefaultFlushEvery). Set before the first Append.
+	FlushEvery int
+}
+
+// openLocked opens (creating if needed) and flock-guards the shard file.
+// Locking happens before any read or truncation, so a concurrent writer's
+// shard is never inspected mid-write or destroyed by a campaign that then
+// fails the lock.
+func openLocked(dir, key string) (*os.File, string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", fmt.Errorf("corpus: %w", err)
+	}
+	path := ShardPath(dir, key)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, "", fmt.Errorf("corpus: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, "", err
+	}
+	return f, path, nil
+}
+
+// initShard truncates the locked file and writes the durable meta record.
+func initShard(f *os.File, path string, meta Meta) (*Shard, error) {
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	if _, err := f.Seek(0, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	s := &Shard{f: f, bw: bufio.NewWriter(f), path: path, FlushEvery: DefaultFlushEvery}
+	meta.Format = FormatVersion
+	if err := s.appendLine(line{Meta: &meta}); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := s.Checkpoint(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Create starts a fresh shard for the key, truncating any previous run.
+// The shard is flock-guarded: a second campaign on the same key fails fast
+// instead of clobbering a live writer.
+func Create(dir, key string, meta Meta) (*Shard, error) {
+	f, path, err := openLocked(dir, key)
+	if err != nil {
+		return nil, err
+	}
+	return initShard(f, path, meta)
+}
+
+// Resume reopens an existing shard for appending and returns its recorded
+// workloads keyed by sequence number. The shard's Meta must match meta; a
+// missing shard is created fresh (resuming a never-started campaign is a
+// plain start). A torn trailing line from a kill is dropped — and truncated
+// away before appending, so new records never land on partial bytes.
+func Resume(dir, key string, meta Meta) (*Shard, map[int64]*WorkloadRecord, error) {
+	f, path, err := openLocked(dir, key)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The lock is held, so the contents are stable from here on.
+	got, records, validLen, err := load(path)
+	if errors.Is(err, ErrNoMeta) {
+		// Never started, or killed before the meta record reached disk
+		// (in which case no workload record can exist either): start fresh.
+		s, ierr := initShard(f, path, meta)
+		return s, map[int64]*WorkloadRecord{}, ierr
+	}
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if got.FS != meta.FS || got.Bounds != meta.Bounds || got.Format != FormatVersion {
+		f.Close()
+		return nil, nil, fmt.Errorf(
+			"corpus: shard %s records fs=%q bounds=%q format=%d; campaign wants fs=%q bounds=%q format=%d",
+			path, got.FS, got.Bounds, got.Format, meta.FS, meta.Bounds, FormatVersion)
+	}
+	// Drop the torn tail (if any) so appends start on a line boundary.
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("corpus: %w", err)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("corpus: %w", err)
+	}
+	done := make(map[int64]*WorkloadRecord, len(records))
+	for _, r := range records {
+		done[r.Seq] = r
+	}
+	s := &Shard{f: f, bw: bufio.NewWriter(f), path: path, FlushEvery: DefaultFlushEvery}
+	return s, done, nil
+}
+
+// Load reads a shard from disk. The final line may be torn (a crashed
+// writer); it is ignored. Later duplicates of a sequence number win, so a
+// record re-tested after a partially flushed run supersedes the original.
+func Load(path string) (*Meta, []*WorkloadRecord, error) {
+	meta, records, _, err := load(path)
+	return meta, records, err
+}
+
+// load is Load plus the byte length of the complete-line prefix, which
+// Resume uses to truncate a torn tail before appending.
+func load(path string) (*Meta, []*WorkloadRecord, int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	var meta *Meta
+	var records []*WorkloadRecord
+	rest := data
+	validLen := int64(0)
+	for len(rest) > 0 {
+		var raw []byte
+		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
+			raw, rest = rest[:i], rest[i+1:]
+		} else {
+			// No terminating newline: a torn final line. Drop it.
+			break
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			validLen += int64(len(raw)) + 1
+			continue
+		}
+		var l line
+		if err := json.Unmarshal(raw, &l); err != nil {
+			// A torn line can only be the last complete-looking one if the
+			// tear happened exactly at a newline boundary; anything earlier
+			// is real corruption.
+			if len(bytes.TrimSpace(rest)) == 0 {
+				break
+			}
+			return nil, nil, 0, fmt.Errorf("corpus: %s: corrupt record: %w", path, err)
+		}
+		validLen += int64(len(raw)) + 1
+		switch {
+		case l.Meta != nil:
+			if meta != nil {
+				return nil, nil, 0, fmt.Errorf("corpus: %s: duplicate meta record", path)
+			}
+			meta = l.Meta
+		case l.Workload != nil:
+			records = append(records, l.Workload)
+		}
+	}
+	if meta == nil {
+		return nil, nil, 0, fmt.Errorf("%w: %s", ErrNoMeta, path)
+	}
+	return meta, records, validLen, nil
+}
+
+// Path returns the shard's file path.
+func (s *Shard) Path() string { return s.path }
+
+// Append records one workload outcome. Safe for concurrent use.
+func (s *Shard) Append(rec *WorkloadRecord) error {
+	return s.appendLine(line{Workload: rec})
+}
+
+func (s *Shard) appendLine(l line) error {
+	buf, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.bw.Write(buf); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := s.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	s.pending++
+	if s.FlushEvery > 0 && s.pending >= s.FlushEvery {
+		return s.checkpointLocked()
+	}
+	return nil
+}
+
+// Checkpoint flushes buffered records and fsyncs the shard, bounding what a
+// kill can lose.
+func (s *Shard) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.checkpointLocked()
+}
+
+func (s *Shard) checkpointLocked() error {
+	if err := s.bw.Flush(); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("corpus: %w", err)
+	}
+	s.pending = 0
+	return nil
+}
+
+// Close checkpoints and closes the shard (releasing its lock). Idempotent:
+// a second Close is a no-op, so callers can both defer it for early-return
+// safety and call it explicitly to observe the final checkpoint error.
+func (s *Shard) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.checkpointLocked(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

@@ -1,0 +1,296 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testMeta() Meta {
+	return Meta{FS: "logfs", Profile: "seq-2", Bounds: "abc123|sample=1|final=false|writechecks=true"}
+}
+
+func rec(seq int64, verdict string) *WorkloadRecord {
+	r := &WorkloadRecord{
+		Seq: seq, ID: "ace-x", Verdict: verdict,
+		States: 2, Checked: 1, Pruned: 1,
+	}
+	if verdict == VerdictBuggy {
+		r.Skeleton = "creat A; fsync A"
+		r.Workload = "creat /foo\nfsync /foo\n"
+		r.Reports = []ReportRecord{{
+			Checkpoint: 1,
+			Primary:    5,
+			Findings:   []Finding{{Consequence: 5, Path: "/foo", Detail: "data gone"}},
+		}}
+	}
+	return r
+}
+
+func TestShardRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "logfs__seq-2__abc", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		v := VerdictClean
+		if i%2 == 0 {
+			v = VerdictBuggy
+		}
+		if err := s.Append(rec(i, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	meta, records, err := Load(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.FS != "logfs" || meta.Format != FormatVersion {
+		t.Fatalf("meta mangled: %+v", meta)
+	}
+	if len(records) != 5 {
+		t.Fatalf("want 5 records, got %d", len(records))
+	}
+	got := records[1]
+	if got.Seq != 2 || got.Verdict != VerdictBuggy || len(got.Reports) != 1 {
+		t.Fatalf("record mangled: %+v", got)
+	}
+	if got.Reports[0].Findings[0].Path != "/foo" {
+		t.Fatalf("finding mangled: %+v", got.Reports[0])
+	}
+}
+
+func TestLoadToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(rec(1, VerdictClean))
+	s.Append(rec(2, VerdictClean))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill mid-write: a partial JSON line with no newline.
+	f, err := os.OpenFile(s.Path(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"workload":{"seq":3,"verdi`)
+	f.Close()
+
+	_, records, err := Load(s.Path())
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("want the 2 intact records, got %d", len(records))
+	}
+}
+
+// TestResumeTruncatesTornTail: appending after a kill must not land on the
+// partial bytes of the torn line — the resumed shard stays loadable.
+func TestResumeTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(rec(1, VerdictClean))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(s.Path(), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"workload":{"seq":2,"verdi`)
+	f.Close()
+
+	s2, done, err := Resume(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 1 {
+		t.Fatalf("want 1 intact record, got %d", len(done))
+	}
+	// Seq 2 was torn away, so the campaign re-tests and re-records it.
+	s2.Append(rec(2, VerdictBuggy))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, records, err := Load(s.Path())
+	if err != nil {
+		t.Fatalf("shard corrupted by post-kill append: %v", err)
+	}
+	if len(records) != 2 || records[1].Seq != 2 || records[1].Verdict != VerdictBuggy {
+		t.Fatalf("re-tested record mangled: %+v", records)
+	}
+}
+
+func TestLoadRejectsMidFileCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(rec(1, VerdictClean))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(s.Path())
+	mangled := strings.Replace(string(data), `"seq":1`, `"seq":??`, 1)
+	mangled += `{"workload":{"seq":2,"id":"ace-2","verdict":"clean"}}` + "\n"
+	os.WriteFile(s.Path(), []byte(mangled), 0o644)
+
+	if _, _, err := Load(s.Path()); err == nil {
+		t.Fatal("corruption before the final line must be an error, not a torn tail")
+	}
+}
+
+func TestResumeCreatesMissingShard(t *testing.T) {
+	dir := t.TempDir()
+	s, done, err := Resume(dir, "fresh", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if len(done) != 0 {
+		t.Fatalf("fresh shard reported %d done workloads", len(done))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fresh.jsonl")); err != nil {
+		t.Fatalf("shard file not created: %v", err)
+	}
+}
+
+func TestResumeReturnsRecordedWork(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Append(rec(1, VerdictClean))
+	s.Append(rec(4, VerdictBuggy))
+	// A re-tested duplicate must supersede the original.
+	dup := rec(1, VerdictError)
+	s.Append(dup)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, done, err := Resume(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(done) != 2 {
+		t.Fatalf("want 2 distinct seqs, got %d", len(done))
+	}
+	if done[1].Verdict != VerdictError {
+		t.Fatalf("later duplicate did not win: %+v", done[1])
+	}
+	if done[4].Verdict != VerdictBuggy || len(done[4].Reports) != 1 {
+		t.Fatalf("buggy record mangled: %+v", done[4])
+	}
+
+	// Appending after resume keeps the shard loadable.
+	s2.Append(rec(5, VerdictClean))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, records, err := Load(ShardPath(dir, "shard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("want 4 records after resumed append, got %d", len(records))
+	}
+}
+
+// TestResumeRecreatesMetaTornShard: a kill before the very first fsync can
+// leave a shard with no complete meta line; resume must start fresh, not
+// fail forever.
+func TestResumeRecreatesMetaTornShard(t *testing.T) {
+	dir := t.TempDir()
+	path := ShardPath(dir, "shard")
+	if err := os.WriteFile(path, []byte(`{"meta":{"format":1,"fs":"log`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, done, err := Resume(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatalf("meta-torn shard not recreated: %v", err)
+	}
+	defer s.Close()
+	if len(done) != 0 {
+		t.Fatalf("recreated shard reported %d done workloads", len(done))
+	}
+	s.Append(rec(1, VerdictClean))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err != nil {
+		t.Fatalf("recreated shard unreadable: %v", err)
+	}
+}
+
+// TestConcurrentWritersExcluded: the flock guard makes a second campaign on
+// the same shard fail fast instead of clobbering the first.
+func TestConcurrentWritersExcluded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Append(rec(1, VerdictClean))
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Create(dir, "shard", testMeta()); err == nil {
+		t.Fatal("second Create on a live shard must fail")
+	}
+	if _, _, err := Resume(dir, "shard", testMeta()); err == nil {
+		t.Fatal("Resume of a live shard must fail")
+	}
+	// The loser must not have truncated the live writer's data.
+	_, records, err := Load(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("live shard damaged by excluded writer: %d records", len(records))
+	}
+}
+
+func TestResumeRefusesMismatchedMeta(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "shard", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := testMeta()
+	other.Bounds = "different-space"
+	if _, _, err := Resume(dir, "shard", other); err == nil {
+		t.Fatal("resume against a different workload space must fail")
+	}
+}
+
+func TestShardKeySanitized(t *testing.T) {
+	p := ShardPath("/tmp/x", "logfs/seq 2|sample=3")
+	base := filepath.Base(p)
+	if strings.ContainsAny(base, "/| ") {
+		t.Fatalf("unsafe shard name %q", base)
+	}
+}

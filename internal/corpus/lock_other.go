@@ -1,0 +1,9 @@
+//go:build !unix
+
+package corpus
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; shards are then
+// single-writer by convention.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on the shard,
+// failing fast if another campaign holds it. The kernel releases the lock
+// when the process exits — including SIGKILL — so a killed campaign never
+// blocks its own resume.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("corpus: shard %s is in use by another campaign: %w", f.Name(), err)
+	}
+	return nil
+}

@@ -90,17 +90,19 @@ func (e *Expectation) keyPath(k dentryKey) string {
 	return fmt.Sprintf("<ino %d>/%s", k.parent, k.name)
 }
 
-// CheckRead runs the read checks (§5.1): persisted files and directories
-// are compared against the oracle.
-func (e *Expectation) CheckRead(m filesys.MountedFS) ([]Finding, error) {
-	idx, err := buildIndex(m)
-	if err != nil {
-		return []Finding{{
-			Consequence: bugs.Unmountable,
-			Path:        "/",
-			Detail:      fmt.Sprintf("crash state not walkable: %v", err),
-		}}, nil
+// walkFailure renders an unwalkable crash state as a finding.
+func walkFailure(err error) Finding {
+	return Finding{
+		Consequence: bugs.Unmountable,
+		Path:        "/",
+		Detail:      fmt.Sprintf("crash state not walkable: %v", err),
 	}
+}
+
+// checkReadIndexed runs the read checks (§5.1) over a prebuilt crash
+// index — persisted files and directories are compared against the oracle.
+// The caller builds the index once and shares it with state hashing.
+func (e *Expectation) checkReadIndexed(m filesys.MountedFS, idx *crashIndex) []Finding {
 	var findings []Finding
 	add := func(f Finding) { findings = append(findings, f) }
 
@@ -163,7 +165,7 @@ func (e *Expectation) CheckRead(m filesys.MountedFS) ([]Finding, error) {
 		}
 		findings = append(findings, e.checkContent(m, fe, paths[0])...)
 	}
-	return findings, nil
+	return findings
 }
 
 // atStaleLocation reports whether ino is visible only at durably removed

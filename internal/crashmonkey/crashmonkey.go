@@ -9,6 +9,7 @@ package crashmonkey
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"b3/internal/blockdev"
@@ -29,6 +30,16 @@ type Monkey struct {
 	DeviceBlocks int64
 	// SkipWriteChecks disables the destructive write checks.
 	SkipWriteChecks bool
+	// Prune, when non-nil, enables representative crash-state pruning:
+	// states whose (content, oracle) fingerprint was already judged reuse
+	// the cached verdict instead of re-running recovery and the checks.
+	// The cache may be shared between Monkeys driving the same file-system
+	// configuration (see prune.go).
+	Prune *PruneCache
+
+	// salt caches pruneSalt (constant per Monkey configuration).
+	saltOnce sync.Once
+	salt     uint64
 }
 
 // Profile is a recorded run of one workload: the base image, the IO log
@@ -79,6 +90,14 @@ type Result struct {
 	Findings     []Finding
 	ReplayDur    time.Duration
 	CheckDur     time.Duration
+	// StateHash is the dirty-block fingerprint of the crash state (set
+	// only when pruning is enabled).
+	StateHash uint64
+	// Pruned reports that the verdict was reused from the prune cache
+	// rather than re-checked; PrunedBy says which tier matched ("disk":
+	// identical device contents, "tree": identical recovered tree).
+	Pruned   bool
+	PrunedBy string
 }
 
 // Buggy reports whether any crash-consistency violation was found.
@@ -169,6 +188,22 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 	}
 	res.ReplayDur = time.Since(replayStart)
 
+	exp := p.expectations[cp-1]
+	var diskKey stateKey
+	if mk.Prune != nil {
+		res.StateHash = crash.Fingerprint()
+		diskKey = stateKey{state: res.StateHash, oracle: exp.Fingerprint() ^ mk.pruneSalt()}
+		if v, ok := mk.Prune.lookupDisk(diskKey); ok {
+			res.Pruned = true
+			res.PrunedBy = "disk"
+			res.Mountable = v.mountable
+			res.FsckRun = v.fsckRun
+			res.FsckRepaired = v.fsckRepaired
+			res.Findings = cloneFindings(v.findings)
+			return res, nil
+		}
+	}
+
 	checkStart := time.Now()
 	defer func() { res.CheckDur = time.Since(checkStart) }()
 
@@ -187,16 +222,48 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 		res.FsckRun = true
 		repaired, ferr := mk.FS.Fsck(crash)
 		res.FsckRepaired = repaired && ferr == nil
+		if mk.Prune != nil {
+			mk.Prune.misses.Add(1)
+			mk.Prune.storeDisk(diskKey, &cachedVerdict{
+				fsckRun:      true,
+				fsckRepaired: res.FsckRepaired,
+				findings:     cloneFindings(res.Findings),
+			})
+		}
 		return res, nil
 	}
 	res.Mountable = true
 
-	exp := p.expectations[cp-1]
-	readFindings, err := exp.CheckRead(m)
-	if err != nil {
-		return nil, fmt.Errorf("crashmonkey: read checks: %w", err)
+	// One walk of the recovered state feeds both the tree-tier hash and
+	// the read checks.
+	idx, ierr := buildIndex(m)
+
+	// Tree tier: distinct disk images recovering to the same logical tree
+	// share a verdict (the representative-testing insight).
+	var treeKey stateKey
+	haveTree := false
+	if mk.Prune != nil && ierr == nil {
+		if th, terr := hashIndex(m, idx); terr == nil {
+			treeKey = stateKey{state: th, oracle: diskKey.oracle}
+			haveTree = true
+			if findings, ok := mk.Prune.lookupTree(treeKey); ok {
+				res.Pruned = true
+				res.PrunedBy = "tree"
+				res.Findings = cloneFindings(findings)
+				mk.Prune.storeDisk(diskKey, &cachedVerdict{
+					mountable: true,
+					findings:  cloneFindings(findings),
+				})
+				return res, nil
+			}
+		}
 	}
-	res.Findings = append(res.Findings, readFindings...)
+
+	if ierr != nil {
+		res.Findings = append(res.Findings, walkFailure(ierr))
+	} else {
+		res.Findings = append(res.Findings, exp.checkReadIndexed(m, idx)...)
+	}
 
 	if !mk.SkipWriteChecks {
 		// Write checks are destructive: run them on a COW fork so the
@@ -212,6 +279,17 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 				Detail:      fmt.Sprintf("write-check remount failed: %v", err),
 			})
 		}
+	}
+
+	if mk.Prune != nil {
+		mk.Prune.misses.Add(1)
+		if haveTree {
+			mk.Prune.storeTree(treeKey, cloneFindings(res.Findings))
+		}
+		mk.Prune.storeDisk(diskKey, &cachedVerdict{
+			mountable: true,
+			findings:  cloneFindings(res.Findings),
+		})
 	}
 	return res, nil
 }

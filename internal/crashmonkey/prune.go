@@ -1,0 +1,365 @@
+package crashmonkey
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"b3/internal/blockdev"
+	"b3/internal/filesys"
+	"b3/internal/fstree"
+)
+
+// Representative crash-state pruning (after Gu et al., "Scalable and
+// Accurate Application-Level Crash-Consistency Testing via Representative
+// Testing"): during a campaign most crash states are equivalent to one the
+// checker has already judged, because workloads share op prefixes (every
+// seq-2 workload beginning "creat /foo; fsync /foo" reconstructs the same
+// checkpoint-1 state) and because distinct disk images often recover to the
+// same logical tree. Checking is a deterministic function of
+//
+//	(crash-state contents, recovery, oracle expectation, check options)
+//
+// so a verdict may be reused whenever that whole tuple repeats. The cache
+// therefore keys on two fingerprints: the crash state (disk tier: dirty
+// block contents; tree tier: the recovered logical tree) and the oracle
+// (Expectation.Fingerprint, which folds in the persistence guarantees and
+// the shadow model). A disk-tier hit skips recovery and all checks; a
+// tree-tier hit skips the read and write checks. The tree tier additionally
+// assumes post-recovery behaviour is a function of the recovered logical
+// state, which holds for the simulated backends and is verified end-to-end
+// by the no-prune cross-check tests.
+//
+// A PruneCache must only be shared between Monkeys driving the same file
+// system instance configuration: the fingerprints do not capture which bug
+// mechanisms are live.
+
+// stateKey identifies one (crash state, oracle) pair.
+type stateKey struct {
+	state  uint64
+	oracle uint64
+}
+
+// cachedVerdict is the reusable outcome of one fully checked crash state.
+type cachedVerdict struct {
+	mountable    bool
+	fsckRun      bool
+	fsckRepaired bool
+	findings     []Finding
+}
+
+// PruneStats reports cache effectiveness counters.
+type PruneStats struct {
+	// DiskHits counts states skipped entirely (identical disk contents).
+	DiskHits int64
+	// TreeHits counts states whose recovery ran but whose oracle checks
+	// were skipped (identical recovered tree).
+	TreeHits int64
+	// Misses counts states that were fully checked.
+	Misses int64
+	// DiskStates and TreeStates are the distinct states cached per tier.
+	DiskStates int64
+	TreeStates int64
+}
+
+// Skipped returns the total number of oracle checks avoided.
+func (s PruneStats) Skipped() int64 { return s.DiskHits + s.TreeHits }
+
+// PruneCache is a concurrency-safe verdict cache for representative
+// crash-state pruning. The zero value is not usable; use NewPruneCache.
+// Entries are never evicted: memory grows with the number of distinct
+// (state, oracle) pairs, which stays small because entries hold only keys
+// and findings (nil for clean states) — campaigns at seq-1/seq-2 scale
+// cache tens of thousands of entries in a few MB.
+type PruneCache struct {
+	mu   sync.Mutex
+	disk map[stateKey]*cachedVerdict
+	tree map[stateKey][]Finding
+
+	diskHits atomic.Int64
+	treeHits atomic.Int64
+	misses   atomic.Int64
+}
+
+// NewPruneCache returns an empty cache.
+func NewPruneCache() *PruneCache {
+	return &PruneCache{
+		disk: make(map[stateKey]*cachedVerdict),
+		tree: make(map[stateKey][]Finding),
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *PruneCache) Stats() PruneStats {
+	c.mu.Lock()
+	diskStates, treeStates := len(c.disk), len(c.tree)
+	c.mu.Unlock()
+	return PruneStats{
+		DiskHits:   c.diskHits.Load(),
+		TreeHits:   c.treeHits.Load(),
+		Misses:     c.misses.Load(),
+		DiskStates: int64(diskStates),
+		TreeStates: int64(treeStates),
+	}
+}
+
+func (c *PruneCache) lookupDisk(k stateKey) (*cachedVerdict, bool) {
+	c.mu.Lock()
+	v, ok := c.disk[k]
+	c.mu.Unlock()
+	if ok {
+		c.diskHits.Add(1)
+	}
+	return v, ok
+}
+
+func (c *PruneCache) lookupTree(k stateKey) ([]Finding, bool) {
+	c.mu.Lock()
+	fs, ok := c.tree[k]
+	c.mu.Unlock()
+	if ok {
+		c.treeHits.Add(1)
+	}
+	return fs, ok
+}
+
+func (c *PruneCache) storeDisk(k stateKey, v *cachedVerdict) {
+	c.mu.Lock()
+	if _, ok := c.disk[k]; !ok {
+		c.disk[k] = v
+	}
+	c.mu.Unlock()
+}
+
+func (c *PruneCache) storeTree(k stateKey, findings []Finding) {
+	c.mu.Lock()
+	if _, ok := c.tree[k]; !ok {
+		c.tree[k] = findings
+	}
+	c.mu.Unlock()
+}
+
+func cloneFindings(fs []Finding) []Finding {
+	if len(fs) == 0 {
+		return nil
+	}
+	return append([]Finding(nil), fs...)
+}
+
+// ---- fingerprints -----------------------------------------------------------
+
+// hasher accumulates structured data into an order-sensitive FNV-1a hash.
+type hasher struct{ h uint64 }
+
+func newHasher() *hasher { return &hasher{h: blockdev.FNVOffset} }
+
+func (h *hasher) bytes(b []byte) {
+	h.h = blockdev.HashBytes(h.h, b)
+}
+
+func (h *hasher) str(s string) {
+	h.u64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h.h = (h.h ^ uint64(s[i])) * blockdev.FNVPrime
+	}
+}
+
+func (h *hasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.h = (h.h ^ (v & 0xff)) * blockdev.FNVPrime
+		v >>= 8
+	}
+}
+
+func (h *hasher) i64(v int64) { h.u64(uint64(v)) }
+
+func (h *hasher) boolean(b bool) {
+	if b {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+
+func (h *hasher) fileState(st *fileState) {
+	if st == nil {
+		h.u64(0)
+		return
+	}
+	h.u64(uint64(st.kind))
+	h.i64(st.size)
+	h.u64(uint64(len(st.data)))
+	h.bytes(st.data)
+	h.i64(st.sectors)
+	h.i64(int64(st.nlink))
+	h.str(st.target)
+	h.xattrs(st.xattrs)
+}
+
+func (h *hasher) xattrs(xa map[string][]byte) {
+	keys := make([]string, 0, len(xa))
+	for k := range xa {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h.u64(uint64(len(keys)))
+	for _, k := range keys {
+		h.str(k)
+		h.u64(uint64(len(xa[k])))
+		h.bytes(xa[k])
+	}
+}
+
+// Fingerprint returns a hash of everything the oracle checks can observe:
+// the persistence guarantees, the shadow model (paths feed report text),
+// and every file and dentry expectation. Two expectations with equal
+// fingerprints demand the same state of a crash survivor and render
+// identical findings. The value is computed once and cached.
+func (e *Expectation) Fingerprint() uint64 {
+	e.fpOnce.Do(func() { e.fp = e.fingerprint() })
+	return e.fp
+}
+
+func (e *Expectation) fingerprint() uint64 {
+	h := newHasher()
+	h.u64(guaranteeBits(e.g))
+
+	e.model.Walk(func(path string, n *fstree.Node) {
+		h.str(path)
+		h.u64(n.Ino)
+		h.u64(uint64(n.Kind))
+		h.i64(n.Size())
+		h.i64(int64(n.Nlink))
+		h.str(n.Target)
+	})
+
+	inos := make([]uint64, 0, len(e.files))
+	for ino := range e.files {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	h.u64(uint64(len(inos)))
+	for _, ino := range inos {
+		fe := e.files[ino]
+		h.u64(ino)
+		h.u64(uint64(fe.level))
+		h.boolean(fe.modified)
+		h.boolean(fe.nsModified)
+		h.i64(fe.minSize)
+		h.fileState(fe.state)
+		h.u64(uint64(len(fe.accepted)))
+		for _, st := range fe.accepted {
+			h.fileState(st)
+		}
+		h.u64(uint64(len(fe.ranges)))
+		for _, r := range fe.ranges {
+			h.i64(r.off)
+			h.u64(uint64(len(r.data)))
+			h.bytes(r.data)
+		}
+	}
+
+	h.u64(uint64(len(e.bindings)))
+	for _, b := range e.bindings {
+		h.u64(b.key.parent)
+		h.str(b.key.name)
+		h.u64(b.ino)
+		h.u64(uint64(b.level))
+		h.boolean(b.removed)
+		h.boolean(b.absent)
+		h.boolean(b.unlinkedLater)
+		if b.movedTo != nil {
+			h.u64(b.movedTo.parent)
+			h.str(b.movedTo.name)
+		} else {
+			h.u64(0)
+			h.str("")
+		}
+	}
+	return h.h
+}
+
+func guaranteeBits(g filesys.Guarantees) uint64 {
+	bools := []bool{
+		g.FsyncFilePersistsDentry, g.FsyncFilePersistsAllNames,
+		g.FsyncFilePersistsRename, g.FsyncFilePersistsAncestorRenames,
+		g.FsyncDirPersistsEntries, g.FsyncDirPersistsChildInodes,
+		g.FsyncDirPersistsSubtreeRenames, g.FsyncDragsReplacementDentry,
+		g.FdatasyncPersistsSize, g.FdatasyncPersistsDentry,
+		g.FdatasyncPersistsAllocBeyondEOF,
+	}
+	var bits uint64
+	for i, b := range bools {
+		if b {
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits
+}
+
+// pruneSalt distinguishes cache entries produced under different check
+// configurations (device geometry, write checks on/off, file-system name).
+// The value is constant per Monkey and computed once.
+func (mk *Monkey) pruneSalt() uint64 {
+	mk.saltOnce.Do(func() {
+		h := newHasher()
+		h.str(mk.FS.Name())
+		h.i64(mk.DeviceBlocks)
+		h.boolean(mk.SkipWriteChecks)
+		mk.salt = h.h
+	})
+	return mk.salt
+}
+
+// hashIndex hashes a mounted (recovered) file system's visible logical
+// state over a prebuilt crash index: paths, kinds, sizes, link counts,
+// allocated sectors, file contents, symlink targets, and extended
+// attributes — everything the read and write checks can distinguish. The
+// caller shares the one walk between state hashing and the read checks.
+// Inodes are hashed once with the full sorted set of their paths, so
+// hard-link structure is captured.
+func hashIndex(m filesys.MountedFS, idx *crashIndex) (uint64, error) {
+	h := newHasher()
+	inos := make([]uint64, 0, len(idx.paths))
+	for ino := range idx.paths {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool {
+		return idx.paths[inos[i]][0] < idx.paths[inos[j]][0]
+	})
+	for _, ino := range inos {
+		paths := idx.paths[ino] // pre-sorted by buildIndex
+		h.u64(uint64(len(paths)))
+		for _, p := range paths {
+			h.str(p)
+		}
+		p := paths[0]
+		st, err := m.Stat(p)
+		if err != nil {
+			return 0, fmt.Errorf("stat %s: %w", p, err)
+		}
+		h.u64(uint64(st.Kind))
+		h.i64(st.Size)
+		h.i64(st.Blocks)
+		h.i64(int64(st.Nlink))
+		switch st.Kind {
+		case filesys.KindRegular:
+			data, err := m.ReadFile(p)
+			if err != nil {
+				return 0, fmt.Errorf("read %s: %w", p, err)
+			}
+			h.bytes(data)
+		case filesys.KindSymlink:
+			target, err := m.ReadLink(p)
+			if err != nil {
+				return 0, fmt.Errorf("readlink %s: %w", p, err)
+			}
+			h.str(target)
+		}
+		if xa, err := m.ListXattr(p); err == nil {
+			h.xattrs(xa)
+		}
+	}
+	return h.h, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"b3/internal/filesys"
 	"b3/internal/fstree"
@@ -836,6 +837,10 @@ type Expectation struct {
 	files    map[uint64]*fileExpect
 	bindings []*dentryExpect
 	model    *fstree.Tree
+
+	// fp caches Fingerprint (representative-state pruning).
+	fpOnce sync.Once
+	fp     uint64
 }
 
 // Snapshot deep-copies the tracker state.

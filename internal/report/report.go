@@ -23,12 +23,15 @@ type Report struct {
 	Workload    string // rendered workload text
 }
 
-// FromResult converts a CrashMonkey result into a report.
+// FromResult converts a CrashMonkey result into a report. The skeleton is
+// taken up to the crashed checkpoint: a crash at an early persistence point
+// reproduces the equivalent shorter workload's state, so its report groups
+// (and deduplicates against known bugs) under that shorter skeleton.
 func FromResult(res *crashmonkey.Result) *Report {
 	return &Report{
 		FSName:      res.FSName,
 		WorkloadID:  res.Workload.ID,
-		Skeleton:    res.Workload.Skeleton(),
+		Skeleton:    res.Workload.SkeletonAt(res.Checkpoint),
 		Consequence: res.Primary().Consequence,
 		Findings:    res.Findings,
 		Workload:    res.Workload.String(),

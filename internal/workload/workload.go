@@ -147,6 +147,41 @@ func (w *Workload) Skeleton() string {
 	return strings.Join(parts, "-")
 }
 
+// SkeletonAt returns the skeleton of the workload prefix ending at the
+// cp-th persistence point (1-based): the bug-grouping signature for a crash
+// simulated there. A crash at an early persistence point reconstructs the
+// state of the equivalent shorter workload, so its report must group — and
+// deduplicate against known bugs — under that shorter skeleton, not the
+// full sequence's. Out-of-range cp falls back to the full skeleton.
+func (w *Workload) SkeletonAt(cp int) string {
+	pps := w.PersistencePoints()
+	if cp < 1 || cp > len(pps) {
+		return w.Skeleton()
+	}
+	limit := pps[cp-1]
+	var parts []string
+	if len(w.CoreOps) == 0 {
+		for i, op := range w.Ops {
+			if i > limit {
+				break
+			}
+			if !op.Kind.IsPersistence() {
+				parts = append(parts, op.Kind.String())
+			}
+		}
+	} else {
+		for _, idx := range w.CoreOps {
+			// <= limit: a core op that is itself the persistence point
+			// (dwrite) has completed at this crash point, so it belongs to
+			// the prefix skeleton.
+			if idx >= 0 && idx < len(w.Ops) && idx <= limit {
+				parts = append(parts, w.Ops[idx].Kind.String())
+			}
+		}
+	}
+	return strings.Join(parts, "-")
+}
+
 // PersistencePoints returns the indices of ops that create crash points.
 func (w *Workload) PersistencePoints() []int {
 	var out []int

@@ -197,3 +197,32 @@ func TestWorkloadString(t *testing.T) {
 		t.Fatalf("String() = %q", w.String())
 	}
 }
+
+func TestSkeletonAtPrefixes(t *testing.T) {
+	w, err := Parse("sk", `
+creat /foo
+fsync /foo
+dwrite /foo 0 4096
+sync
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.CoreOps = []int{0, 2} // creat, dwrite (as ACE would mark them)
+
+	// dwrite is both a core op and a persistence point: the checkpoint it
+	// creates must include it in the prefix skeleton.
+	if got := w.SkeletonAt(2); got != "creat-dwrite" {
+		t.Fatalf("SkeletonAt(2) = %q, want creat-dwrite", got)
+	}
+	if got := w.SkeletonAt(1); got != "creat" {
+		t.Fatalf("SkeletonAt(1) = %q, want creat", got)
+	}
+	// Final and out-of-range checkpoints match the full skeleton.
+	if got := w.SkeletonAt(3); got != w.Skeleton() {
+		t.Fatalf("SkeletonAt(final) = %q, want %q", got, w.Skeleton())
+	}
+	if got := w.SkeletonAt(99); got != w.Skeleton() {
+		t.Fatalf("SkeletonAt(out of range) = %q, want %q", got, w.Skeleton())
+	}
+}
