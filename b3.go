@@ -61,6 +61,9 @@ type (
 	Bounds = ace.Bounds
 	// CampaignStats summarises a testing campaign.
 	CampaignStats = campaign.Stats
+	// CampaignMatrix summarises a multi-file-system campaign: per-FS stats
+	// plus a merged cross-FS report table.
+	CampaignMatrix = campaign.Matrix
 	// Version is a simulated kernel version.
 	Version = bugs.Version
 	// Bug is a catalogued crash-consistency bug mechanism.
@@ -175,6 +178,10 @@ type Campaign struct {
 	// NoPrune disables representative crash-state pruning — the
 	// cross-check mode: identical bug verdicts, every state checked.
 	NoPrune bool
+	// PruneCap bounds each prune-cache tier in entries (0 = the default
+	// cap, negative = unbounded). Campaigns whose distinct-state count
+	// exceeds the cap evict LRU entries and transparently re-check them.
+	PruneCap int
 	// CorpusDir persists per-workload progress to an append-only JSONL
 	// shard under this directory; Resume skips workloads already recorded
 	// there, so a killed campaign continues where it stopped.
@@ -184,6 +191,27 @@ type Campaign struct {
 
 // RunCampaign executes the campaign and returns its statistics.
 func RunCampaign(c Campaign) (*CampaignStats, error) {
+	cfg, err := c.config()
+	if err != nil {
+		return nil, err
+	}
+	return campaign.Run(cfg)
+}
+
+// RunCampaignMatrix executes one campaign configuration across several file
+// systems at once, sharing a single worker pool. c.FS is ignored; each
+// entry of fss becomes one row of the matrix with its own statistics, prune
+// cache, and (when CorpusDir is set) corpus shard.
+func RunCampaignMatrix(c Campaign, fss []FileSystem) (*CampaignMatrix, error) {
+	cfg, err := c.config()
+	if err != nil {
+		return nil, err
+	}
+	return campaign.RunMatrix(cfg, fss)
+}
+
+// config lowers the facade Campaign into the campaign package's Config.
+func (c Campaign) config() (campaign.Config, error) {
 	bounds := ace.Default(1)
 	label := "campaign"
 	if c.Bounds != nil {
@@ -192,7 +220,7 @@ func RunCampaign(c Campaign) (*CampaignStats, error) {
 		var err error
 		bounds, err = ace.Profile(c.Profile)
 		if err != nil {
-			return nil, err
+			return campaign.Config{}, err
 		}
 		label = string(c.Profile)
 	}
@@ -204,14 +232,15 @@ func RunCampaign(c Campaign) (*CampaignStats, error) {
 		SampleEvery:  c.SampleEvery,
 		FinalOnly:    c.FinalOnly,
 		NoPrune:      c.NoPrune,
+		PruneCap:     c.PruneCap,
 		CorpusDir:    c.CorpusDir,
 		ProfileLabel: label,
 		Resume:       c.Resume,
 	}
 	if c.DedupKnown {
-		cfg.KnownDB = KnownBugDB(c.FS.Name())
+		cfg.KnownDBFor = KnownBugDB
 	}
-	return campaign.Run(cfg)
+	return cfg, nil
 }
 
 // KnownBugDB builds the §5.3 known-bug database for one file system from

@@ -75,6 +75,42 @@ func TestFacadeCampaignKnobs(t *testing.T) {
 	}
 }
 
+// TestFacadeMatrixAndPruneCap drives the campaign-matrix and prune-cap
+// knobs through the public API: a two-backend matrix over the seq-1 space
+// with a tiny verdict cache must report per-FS rows, count evictions, and
+// keep the reference backend clean.
+func TestFacadeMatrixAndPruneCap(t *testing.T) {
+	var fss []b3.FileSystem
+	for _, name := range []string{"logfs", "diskfmt"} {
+		fs, err := b3.NewFS(name, b3.CampaignConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		fss = append(fss, fs)
+	}
+	matrix, err := b3.RunCampaignMatrix(b3.Campaign{Profile: b3.Seq1, PruneCap: 8}, fss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matrix.PerFS) != 2 {
+		t.Fatalf("rows = %d", len(matrix.PerFS))
+	}
+	logfsRow := matrix.ByFS("logfs")
+	if logfsRow == nil || logfsRow.Failed == 0 {
+		t.Fatal("logfs row found no seq-1 bugs")
+	}
+	if logfsRow.PruneCap != 8 || logfsRow.DiskEvictions+logfsRow.TreeEvictions == 0 {
+		t.Fatalf("cap-8 cache did not evict: %+v", logfsRow)
+	}
+	if ref := matrix.ByFS("diskfmt"); ref == nil || ref.Failed != 0 || ref.Errors != 0 {
+		t.Fatalf("reference row not clean: %+v", ref)
+	}
+	sum := matrix.Summary()
+	if !strings.Contains(sum, "logfs") || !strings.Contains(sum, "diskfmt") {
+		t.Fatalf("matrix summary incomplete:\n%s", sum)
+	}
+}
+
 func TestFacadeFSConfigs(t *testing.T) {
 	for _, name := range b3.FSNames() {
 		for _, cfg := range []b3.FSConfig{b3.FixedConfig(), b3.CampaignConfig(), {}} {

@@ -4,12 +4,14 @@
 package b3_test
 
 import (
+	"fmt"
 	"testing"
 
 	"b3"
 	"b3/internal/ace"
 	"b3/internal/bugs"
 	"b3/internal/crashmonkey"
+	"b3/internal/filesys"
 	"b3/internal/fsmake"
 	"b3/internal/report"
 	"b3/internal/study"
@@ -279,6 +281,69 @@ func benchPruningSeq2(b *testing.B, noPrune, finalOnly bool) {
 func BenchmarkPruningSeq2(b *testing.B)          { benchPruningSeq2(b, false, false) }
 func BenchmarkPruningSeq2NoPrune(b *testing.B)   { benchPruningSeq2(b, true, false) }
 func BenchmarkPruningSeq2FinalOnly(b *testing.B) { benchPruningSeq2(b, true, true) }
+
+// BenchmarkPruneCapEvictionPressure runs the same bounded seq-2 sweep with
+// the prune cache capped far below the working set: the cache churns (high
+// eviction count), memory stays bounded at the cap, and the bug-group set
+// is identical to the uncapped run — the trade is re-checking, never
+// verdicts. EXPERIMENTS.md records checks/evictions at each cap.
+func BenchmarkPruneCapEvictionPressure(b *testing.B) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bounds := ace.Default(2)
+	bounds.Ops = []workload.OpKind{workload.OpCreat, workload.OpLink,
+		workload.OpRename, workload.OpFalloc}
+	for _, cap := range []int{64, 1024, crashmonkey.DefaultPruneCap} {
+		b.Run(fmt.Sprintf("cap-%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				stats, err := b3.RunCampaign(b3.Campaign{
+					FS:           fs,
+					Bounds:       &bounds,
+					SampleEvery:  3,
+					MaxWorkloads: 30000,
+					PruneCap:     cap,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(stats.StatesChecked), "checks")
+				b.ReportMetric(float64(stats.DiskEvictions+stats.TreeEvictions), "evictions")
+				b.ReportMetric(float64(stats.DistinctStates), "cached-states")
+				b.ReportMetric(float64(len(stats.Groups)), "bug-groups")
+			}
+		})
+	}
+}
+
+// BenchmarkCheckerReadIO measures the AutoChecker's read traffic per crash
+// state on the tree-tier-miss path (a fresh prune cache each iteration, so
+// no verdict is ever reused). The bytes-read/state metric is the number the
+// content-carrying crash index halves versus re-reading through MountedFS;
+// EXPERIMENTS.md records before/after.
+func BenchmarkCheckerReadIO(b *testing.B) {
+	inner, _ := fsmake.Fixed("logfs")
+	var meter filesys.Meter
+	fs := filesys.Metered(inner, &meter)
+	w := mustParse(b, "readio", phaseWorkload)
+	mk := &crashmonkey.Monkey{FS: fs}
+	p, err := mk.ProfileWorkload(w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meter.Reset()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mk.Prune = crashmonkey.NewPruneCache() // every state is a miss
+		if _, err := mk.TestCheckpoint(p, p.Checkpoints()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(meter.BytesRead.Load())/float64(b.N), "bytes-read/state")
+	b.ReportMetric(float64(meter.ReadFileCalls.Load())/float64(b.N), "reads/state")
+	b.ReportMetric(float64(meter.StatCalls.Load())/float64(b.N), "stats/state")
+}
 
 // ---- Figure 5: report grouping and dedup -----------------------------------
 

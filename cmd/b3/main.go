@@ -4,9 +4,12 @@
 //	b3 -find-new-bugs                       # Table 5: campaign at 4.16
 //	b3 -table4                              # Table 4 workload counts
 //	b3 -profile seq-2 -fs logfs -sample 10  # sampled seq-2 sweep
+//	b3 -profile seq-2 -fs all               # matrix: every backend at once
+//	b3 -profile seq-2 -fs logfs,journalfs   # matrix: a chosen subset
 //	b3 -profile seq-2 -corpus runs/         # resumable: progress on disk
 //	b3 -profile seq-2 -corpus runs/ -resume # continue a killed campaign
 //	b3 -profile seq-2 -no-prune             # cross-check: no state pruning
+//	b3 -profile seq-3-data -prune-cap 65536 # bound the verdict cache
 //	b3 -reproduce                           # appendix: 24 known bugs
 package main
 
@@ -14,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"b3"
@@ -27,12 +31,13 @@ func main() {
 		table4    = flag.Bool("table4", false, "count the Table 4 workload sets (slow: full enumeration)")
 		reproduce = flag.Bool("reproduce", false, "reproduce the 24 known bugs on their reported kernels (appendix 9.1)")
 		profile   = flag.String("profile", "", "run one campaign profile: seq-1 | seq-2 | seq-3-*")
-		fsName    = flag.String("fs", "logfs", "file system under test")
+		fsName    = flag.String("fs", "logfs", "file system(s) under test: one name, a comma list, or \"all\"")
 		sample    = flag.Int64("sample", 1, "test every n-th workload")
 		maxW      = flag.Int64("max", 0, "stop generation after this many workloads")
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		dedup     = flag.Bool("dedup-known", true, "suppress bug groups matching the known-bug database (§5.3)")
 		noPrune   = flag.Bool("no-prune", false, "disable representative crash-state pruning (cross-check mode: every state checked)")
+		pruneCap  = flag.Int("prune-cap", 0, "bound each prune-cache tier to this many entries (0 = default cap, negative = unbounded)")
 		finalOnly = flag.Bool("final-only", false, "test only the final persistence point of each workload (the paper's §5.3 strategy)")
 		corpusDir = flag.String("corpus", "", "persist campaign progress to JSONL shards under this directory")
 		resume    = flag.Bool("resume", false, "resume an interrupted campaign from the -corpus shard")
@@ -49,7 +54,7 @@ func main() {
 	case *findNew:
 		runFindNewBugs(campaignOpts{
 			workers: *workers, sample: *sample,
-			noPrune: *noPrune, finalOnly: *finalOnly,
+			noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
 			corpusDir: *corpusDir, resume: *resume,
 		})
 	case *reproduce:
@@ -58,7 +63,7 @@ func main() {
 		runProfile(profileRun{
 			campaignOpts: campaignOpts{
 				workers: *workers, sample: *sample,
-				noPrune: *noPrune, finalOnly: *finalOnly,
+				noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
 				corpusDir: *corpusDir, resume: *resume,
 			},
 			profile: *profile, fs: *fsName, maxW: *maxW, dedup: *dedup,
@@ -98,8 +103,33 @@ type campaignOpts struct {
 	workers            int
 	sample             int64
 	noPrune, finalOnly bool
+	pruneCap           int
 	corpusDir          string
 	resume             bool
+}
+
+// resolveFS expands the -fs flag: one name, a comma list, or "all".
+func resolveFS(arg string) ([]b3.FileSystem, error) {
+	names := strings.Split(arg, ",")
+	if strings.TrimSpace(arg) == "all" {
+		names = b3.FSNames()
+	}
+	var out []b3.FileSystem
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		fs, err := b3.NewFS(name, b3.CampaignConfig())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fs)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-fs %q selects no file system", arg)
+	}
+	return out, nil
 }
 
 func runFindNewBugs(o campaignOpts) {
@@ -115,7 +145,7 @@ func runFindNewBugs(o campaignOpts) {
 			stats, err := b3.RunCampaign(b3.Campaign{
 				FS: fs, Profile: p, Workers: o.workers,
 				SampleEvery: o.sample, DedupKnown: true,
-				NoPrune: o.noPrune, FinalOnly: o.finalOnly,
+				NoPrune: o.noPrune, PruneCap: o.pruneCap, FinalOnly: o.finalOnly,
 				// Each (fs, profile) pair gets its own corpus shard.
 				CorpusDir: o.corpusDir, Resume: o.resume,
 			})
@@ -213,20 +243,30 @@ type profileRun struct {
 }
 
 func runProfile(r profileRun) {
-	fs, err := b3.NewFS(r.fs, b3.CampaignConfig())
+	fss, err := resolveFS(r.fs)
 	if err != nil {
 		fatal(err)
 	}
-	stats, err := b3.RunCampaign(b3.Campaign{
-		FS: fs, Profile: b3.ProfileName(r.profile), Workers: r.workers,
+	c := b3.Campaign{
+		Profile: b3.ProfileName(r.profile), Workers: r.workers,
 		SampleEvery: r.sample, MaxWorkloads: r.maxW, DedupKnown: r.dedup,
-		NoPrune: r.noPrune, FinalOnly: r.finalOnly,
+		NoPrune: r.noPrune, PruneCap: r.pruneCap, FinalOnly: r.finalOnly,
 		CorpusDir: r.corpusDir, Resume: r.resume,
-	})
+	}
+	if len(fss) == 1 {
+		c.FS = fss[0]
+		stats, err := b3.RunCampaign(c)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(stats.Summary())
+		return
+	}
+	matrix, err := b3.RunCampaignMatrix(c, fss)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(stats.Summary())
+	fmt.Print(matrix.Summary())
 }
 
 func fatal(err error) {

@@ -62,6 +62,10 @@ type Config struct {
 	// state is checked against the oracle. This is the cross-check mode —
 	// it must produce the identical set of bug verdicts, only slower.
 	NoPrune bool
+	// PruneCap bounds each prune-cache tier (entries). 0 uses
+	// crashmonkey.DefaultPruneCap; negative means unbounded. Eviction is
+	// verdict-preserving: an evicted state that recurs is re-checked.
+	PruneCap int
 
 	// CorpusDir, when set, persists per-workload progress to an
 	// append-only JSONL shard under this directory (internal/corpus).
@@ -76,6 +80,10 @@ type Config struct {
 	// CheckpointEvery overrides the corpus fsync interval in records
 	// (0 = corpus.DefaultFlushEvery).
 	CheckpointEvery int
+
+	// KnownDBFor, when set, supplies a per-file-system known-bug database
+	// for matrix campaigns; it takes precedence over KnownDB.
+	KnownDBFor func(fsName string) *report.KnownDB
 }
 
 // configFingerprint identifies everything that determines per-workload
@@ -110,6 +118,12 @@ type Stats struct {
 	// pairs the prune cache ended up holding (0 when pruning is off).
 	// Tree-tier entries are a subset view and not included.
 	DistinctStates int64
+	// PruneCap is the per-tier cache bound the campaign ran with (0 when
+	// pruning is off); DiskEvictions/TreeEvictions count entries dropped
+	// to stay under it.
+	PruneCap      int
+	DiskEvictions int64
+	TreeEvictions int64
 
 	// Resumed counts workloads whose verdicts were folded in from the
 	// corpus shard instead of being re-tested; CorpusPath is the shard.
@@ -173,210 +187,195 @@ type counters struct {
 	dirtyTot, dirtyN, dirtyMax atomic.Int64
 }
 
-// Run executes the campaign.
-func Run(cfg Config) (*Stats, error) {
-	if cfg.Resume && cfg.CorpusDir == "" {
-		return nil, fmt.Errorf("campaign: Resume requires CorpusDir")
+// testShardHook, when non-nil, observes every corpus shard a campaign
+// opens. Tests use it to inject mid-run shard failures.
+var testShardHook func(*corpus.Shard)
+
+// fsRun is the per-file-system state of a (matrix) campaign: one row of the
+// matrix, with its own prune cache, corpus shard, counters, and reports.
+// All rows share one worker pool.
+type fsRun struct {
+	cfg   Config // per-FS copy: cfg.FS is this row's file system
+	cache *crashmonkey.PruneCache
+	shard *corpus.Shard
+	done  map[int64]*corpus.WorkloadRecord
+
+	cnt     counters
+	mu      sync.Mutex
+	reports []*report.Report
+
+	corpusMu     sync.Mutex
+	corpusErr    error
+	corpusFailed atomic.Bool
+
+	stats *Stats
+}
+
+func (r *fsRun) appendRecord(rec *corpus.WorkloadRecord) {
+	if r.shard == nil {
+		return
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if err := r.shard.Append(rec); err != nil {
+		r.corpusMu.Lock()
+		if r.corpusErr == nil {
+			r.corpusErr = err
+		}
+		r.corpusMu.Unlock()
+		r.corpusFailed.Store(true)
 	}
-	sample := cfg.SampleEvery
+}
+
+func (r *fsRun) emit(rep *report.Report) {
+	r.mu.Lock()
+	r.reports = append(r.reports, rep)
+	r.mu.Unlock()
+}
+
+// foldRecord replays one recorded workload verdict into the run: state
+// counts and reports fold in even for workloads that later errored. Timing
+// and dirty-byte aggregates are deliberately not restored — records carry
+// verdicts, not durations — so Summary averages those over live workloads
+// only.
+func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
+	r.stats.Resumed++
+	r.cnt.statesTotal.Add(int64(rec.States))
+	if r.cfg.NoPrune {
+		// The shard may have been written with pruning on (prune mode is
+		// excluded from the config fingerprint on purpose). A no-prune run
+		// must keep its StatesChecked == StatesTotal invariant, so recorded
+		// prune-skips count as checked here — their verdicts were
+		// established, just via the cache.
+		r.cnt.statesChecked.Add(int64(rec.Checked) + int64(rec.Pruned))
+	} else {
+		r.cnt.statesChecked.Add(int64(rec.Checked))
+		r.cnt.statesPruned.Add(int64(rec.Pruned))
+	}
+	if rec.Errored || rec.Verdict == corpus.VerdictError {
+		r.cnt.errs.Add(1)
+	} else if rec.States > 0 {
+		r.cnt.tested.Add(1)
+	}
+	if rec.Verdict == corpus.VerdictBuggy {
+		r.cnt.failed.Add(1)
+	}
+	for _, rr := range rec.Reports {
+		findings := make([]crashmonkey.Finding, 0, len(rr.Findings))
+		for _, f := range rr.Findings {
+			findings = append(findings, crashmonkey.Finding{
+				Consequence: bugs.Consequence(f.Consequence),
+				Path:        f.Path,
+				Detail:      f.Detail,
+			})
+		}
+		skeleton := rr.Skeleton
+		if skeleton == "" {
+			skeleton = rec.Skeleton
+		}
+		r.emit(&report.Report{
+			FSName:      r.cfg.FS.Name(),
+			WorkloadID:  rec.ID,
+			Skeleton:    skeleton,
+			Consequence: bugs.Consequence(rr.Primary),
+			Findings:    findings,
+			Workload:    rec.Workload,
+		})
+	}
+}
+
+// openCorpus opens (or resumes) the run's corpus shard.
+func (r *fsRun) openCorpus() error {
+	cfg := &r.cfg
+	if cfg.CorpusDir == "" {
+		return nil
+	}
+	label := cfg.ProfileLabel
+	if label == "" {
+		label = "campaign"
+	}
+	// The key hashes the FULL config fingerprint (not just the bounds), so
+	// differently-configured campaigns never share — or truncate — each
+	// other's shard. The Meta check on resume still guards against hash
+	// collisions and hand-moved files.
+	fph := fnv.New64a()
+	fph.Write([]byte(cfg.configFingerprint()))
+	key := fmt.Sprintf("%s__%s__%016x", cfg.FS.Name(), label, fph.Sum64())
+	meta := corpus.Meta{
+		FS:      cfg.FS.Name(),
+		Profile: label,
+		Bounds:  cfg.configFingerprint(),
+	}
+	var err error
+	if cfg.Resume {
+		r.shard, r.done, err = corpus.Resume(cfg.CorpusDir, key, meta)
+	} else {
+		r.shard, err = corpus.Create(cfg.CorpusDir, key, meta)
+	}
+	if err != nil {
+		return err
+	}
+	if cfg.CheckpointEvery > 0 {
+		r.shard.FlushEvery = cfg.CheckpointEvery
+	}
+	r.stats.CorpusPath = r.shard.Path()
+	if testShardHook != nil {
+		testShardHook(r.shard)
+	}
+	return nil
+}
+
+// generate enumerates the run's workload space, folding resumed records and
+// feeding untested workloads to the shared pool. Returns the generation
+// error, if any.
+func (r *fsRun) generate(jobs chan<- fsJob) error {
+	sample := r.cfg.SampleEvery
 	if sample <= 0 {
 		sample = 1
 	}
-
-	stats := &Stats{FSName: cfg.FS.Name()}
-	start := time.Now()
-
-	var cache *crashmonkey.PruneCache
-	if !cfg.NoPrune {
-		cache = crashmonkey.NewPruneCache()
-	}
-
-	var (
-		shard *corpus.Shard
-		done  map[int64]*corpus.WorkloadRecord
-	)
-	if cfg.CorpusDir != "" {
-		label := cfg.ProfileLabel
-		if label == "" {
-			label = "campaign"
-		}
-		// The key hashes the FULL config fingerprint (not just the bounds),
-		// so differently-configured campaigns never share — or truncate —
-		// each other's shard. The Meta check below still guards against
-		// hash collisions and hand-moved files.
-		fph := fnv.New64a()
-		fph.Write([]byte(cfg.configFingerprint()))
-		key := fmt.Sprintf("%s__%s__%016x", cfg.FS.Name(), label, fph.Sum64())
-		meta := corpus.Meta{
-			FS:      cfg.FS.Name(),
-			Profile: label,
-			Bounds:  cfg.configFingerprint(),
-		}
-		var err error
-		if cfg.Resume {
-			shard, done, err = corpus.Resume(cfg.CorpusDir, key, meta)
-		} else {
-			shard, err = corpus.Create(cfg.CorpusDir, key, meta)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("campaign: %w", err)
-		}
-		if cfg.CheckpointEvery > 0 {
-			shard.FlushEvery = cfg.CheckpointEvery
-		}
-		stats.CorpusPath = shard.Path()
-		defer shard.Close()
-	}
-
-	type job struct {
-		w   *workload.Workload
-		seq int64
-	}
-	jobs := make(chan job, 4*workers)
-
-	var (
-		mu      sync.Mutex
-		reports []*report.Report
-		cnt     counters
-
-		corpusMu     sync.Mutex
-		corpusErr    error
-		corpusFailed atomic.Bool
-	)
-	appendRecord := func(rec *corpus.WorkloadRecord) {
-		if shard == nil {
-			return
-		}
-		if err := shard.Append(rec); err != nil {
-			corpusMu.Lock()
-			if corpusErr == nil {
-				corpusErr = err
-			}
-			corpusMu.Unlock()
-			corpusFailed.Store(true)
-		}
-	}
-
-	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			mk := &crashmonkey.Monkey{
-				FS:              cfg.FS,
-				SkipWriteChecks: cfg.SkipWriteChecks,
-				Prune:           cache,
-			}
-			for j := range jobs {
-				runWorkload(mk, j.w, j.seq, cfg.FinalOnly, &cnt, func(r *report.Report) {
-					mu.Lock()
-					reports = append(reports, r)
-					mu.Unlock()
-				}, appendRecord)
-			}
-		}()
-	}
-
-	// foldRecord replays one recorded workload verdict into the run: state
-	// counts and reports fold in even for workloads that later errored.
-	// Timing and dirty-byte aggregates are deliberately not restored —
-	// records carry verdicts, not durations — so Summary averages those
-	// over live workloads only.
-	foldRecord := func(rec *corpus.WorkloadRecord) {
-		stats.Resumed++
-		cnt.statesTotal.Add(int64(rec.States))
-		if cfg.NoPrune {
-			// The shard may have been written with pruning on (prune mode
-			// is excluded from the config fingerprint on purpose). A
-			// no-prune run must keep its StatesChecked == StatesTotal
-			// invariant, so recorded prune-skips count as checked here —
-			// their verdicts were established, just via the cache.
-			cnt.statesChecked.Add(int64(rec.Checked) + int64(rec.Pruned))
-		} else {
-			cnt.statesChecked.Add(int64(rec.Checked))
-			cnt.statesPruned.Add(int64(rec.Pruned))
-		}
-		if rec.Errored || rec.Verdict == corpus.VerdictError {
-			cnt.errs.Add(1)
-		} else if rec.States > 0 {
-			cnt.tested.Add(1)
-		}
-		if rec.Verdict == corpus.VerdictBuggy {
-			cnt.failed.Add(1)
-		}
-		for _, rr := range rec.Reports {
-			findings := make([]crashmonkey.Finding, 0, len(rr.Findings))
-			for _, f := range rr.Findings {
-				findings = append(findings, crashmonkey.Finding{
-					Consequence: bugs.Consequence(f.Consequence),
-					Path:        f.Path,
-					Detail:      f.Detail,
-				})
-			}
-			skeleton := rr.Skeleton
-			if skeleton == "" {
-				skeleton = rec.Skeleton
-			}
-			mu.Lock()
-			reports = append(reports, &report.Report{
-				FSName:      cfg.FS.Name(),
-				WorkloadID:  rec.ID,
-				Skeleton:    skeleton,
-				Consequence: bugs.Consequence(rr.Primary),
-				Findings:    findings,
-				Workload:    rec.Workload,
-			})
-			mu.Unlock()
-		}
-	}
-
 	genStart := time.Now()
-	gen := ace.New(cfg.Bounds)
-	var genErr error
-	generated, genErr := gen.Generate(func(w *workload.Workload) bool {
-		if cfg.MaxWorkloads > 0 && stats.Generated >= cfg.MaxWorkloads {
+	enumerated := int64(0)
+	generated, genErr := ace.New(r.cfg.Bounds).Generate(func(w *workload.Workload) bool {
+		if r.cfg.MaxWorkloads > 0 && enumerated >= r.cfg.MaxWorkloads {
 			return false
 		}
 		// A failed corpus write fails the whole campaign; stop feeding it
 		// instead of testing for hours and then discarding the results.
-		if corpusFailed.Load() {
+		if r.corpusFailed.Load() {
 			return false
 		}
-		stats.Generated++
-		if stats.Generated%sample != 0 {
+		enumerated++
+		if enumerated%sample != 0 {
 			return true
 		}
-		if rec, ok := done[stats.Generated]; ok {
-			foldRecord(rec)
+		if rec, ok := r.done[enumerated]; ok {
+			r.foldRecord(rec)
 			return true
 		}
 		// Workloads are mutated downstream only via their own structures;
 		// each emitted workload is freshly built, so hand it off directly.
-		jobs <- job{w: w, seq: stats.Generated}
+		jobs <- fsJob{run: r, w: w, seq: enumerated}
 		return true
 	})
-	close(jobs)
-	wg.Wait()
-	stats.GenDur = time.Since(genStart)
-	if genErr != nil {
-		return nil, fmt.Errorf("campaign: generation: %w", genErr)
-	}
-	if corpusErr != nil {
-		return nil, fmt.Errorf("campaign: corpus: %w", corpusErr)
+	r.stats.Generated = generated
+	r.stats.GenDur = time.Since(genStart)
+	return genErr
+}
+
+// finish folds the counters into the run's Stats and groups its reports.
+// Called after the worker pool has drained. Errors are returned unwrapped
+// (the corpus package already prefixes them); RunMatrix adds the one
+// campaign-and-FS-naming wrap.
+func (r *fsRun) finish(start time.Time) error {
+	if r.corpusErr != nil {
+		return r.corpusErr
 	}
 	// Close explicitly so a failed final checkpoint surfaces instead of
 	// vanishing in the deferred (idempotent) Close.
-	if shard != nil {
-		if err := shard.Close(); err != nil {
-			return nil, fmt.Errorf("campaign: corpus: %w", err)
+	if r.shard != nil {
+		if err := r.shard.Close(); err != nil {
+			return err
 		}
 	}
-	stats.Generated = generated
-
+	stats, cnt := r.stats, &r.cnt
 	stats.Tested = cnt.tested.Load()
 	stats.Failed = cnt.failed.Load()
 	stats.Errors = cnt.errs.Load()
@@ -385,9 +384,12 @@ func Run(cfg Config) (*Stats, error) {
 	stats.StatesPruned = cnt.statesPruned.Load()
 	stats.PrunedDisk = cnt.prunedDisk.Load()
 	stats.PrunedTree = cnt.prunedTree.Load()
-	if cache != nil {
-		cs := cache.Stats()
+	if r.cache != nil {
+		cs := r.cache.Stats()
 		stats.DistinctStates = cs.DiskStates
+		stats.PruneCap = cs.Cap
+		stats.DiskEvictions = cs.DiskEvictions
+		stats.TreeEvictions = cs.TreeEvictions
 	}
 	stats.ProfileDur = time.Duration(cnt.profNS.Load())
 	stats.ReplayDur = time.Duration(cnt.replayNS.Load())
@@ -397,13 +399,150 @@ func Run(cfg Config) (*Stats, error) {
 	stats.MaxDirty = cnt.dirtyMax.Load()
 	stats.Elapsed = time.Since(start)
 
-	stats.Groups = report.GroupReports(reports)
-	if cfg.KnownDB != nil {
-		stats.FreshGroups, stats.KnownGroups = cfg.KnownDB.Split(stats.Groups)
+	stats.Groups = report.GroupReports(r.reports)
+	db := r.cfg.KnownDB
+	if r.cfg.KnownDBFor != nil {
+		db = r.cfg.KnownDBFor(r.cfg.FS.Name())
+	}
+	if db != nil {
+		stats.FreshGroups, stats.KnownGroups = db.Split(stats.Groups)
 	} else {
 		stats.FreshGroups = stats.Groups
 	}
-	return stats, nil
+	return nil
+}
+
+// fsJob is one workload bound for one matrix row.
+type fsJob struct {
+	run *fsRun
+	w   *workload.Workload
+	seq int64
+}
+
+// Run executes a single-file-system campaign.
+func Run(cfg Config) (*Stats, error) {
+	m, err := RunMatrix(cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	return m.PerFS[0], nil
+}
+
+// RunMatrix fans one campaign configuration out across several file
+// systems at once — the in-process analogue of giving each file system its
+// own slice of the paper's VM cluster (§6.1). All rows share one worker
+// pool, so a fast row's idle capacity drains into the slower ones; each row
+// keeps its own prune cache, corpus shard, statistics, and bug groups. A
+// nil or empty fss runs just cfg.FS.
+func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
+	if cfg.Resume && cfg.CorpusDir == "" {
+		return nil, fmt.Errorf("campaign: Resume requires CorpusDir")
+	}
+	if len(fss) == 0 {
+		if cfg.FS == nil {
+			return nil, fmt.Errorf("campaign: no file system configured")
+		}
+		fss = []filesys.FileSystem{cfg.FS}
+	}
+	seen := map[string]bool{}
+	for _, fs := range fss {
+		if seen[fs.Name()] {
+			return nil, fmt.Errorf("campaign: duplicate file system %q in matrix", fs.Name())
+		}
+		seen[fs.Name()] = true
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+
+	runs := make([]*fsRun, 0, len(fss))
+	for _, fs := range fss {
+		r := &fsRun{cfg: cfg, stats: &Stats{FSName: fs.Name()}}
+		r.cfg.FS = fs
+		if !cfg.NoPrune {
+			cap := cfg.PruneCap
+			switch {
+			case cap == 0:
+				cap = crashmonkey.DefaultPruneCap
+			case cap < 0:
+				cap = 0 // unbounded
+			}
+			r.cache = crashmonkey.NewPruneCacheCap(cap)
+		}
+		if err := r.openCorpus(); err != nil {
+			// Release shards already opened for earlier rows.
+			for _, prev := range runs {
+				if prev.shard != nil {
+					prev.shard.Close()
+				}
+			}
+			return nil, fmt.Errorf("campaign: %s: %w", fs.Name(), err)
+		}
+		runs = append(runs, r)
+	}
+	defer func() {
+		for _, r := range runs {
+			if r.shard != nil {
+				r.shard.Close()
+			}
+		}
+	}()
+
+	jobs := make(chan fsJob, 4*workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			monkeys := make(map[*fsRun]*crashmonkey.Monkey, len(runs))
+			for j := range jobs {
+				mk := monkeys[j.run]
+				if mk == nil {
+					mk = &crashmonkey.Monkey{
+						FS:              j.run.cfg.FS,
+						SkipWriteChecks: j.run.cfg.SkipWriteChecks,
+						Prune:           j.run.cache,
+					}
+					monkeys[j.run] = mk
+				}
+				runWorkload(mk, j.w, j.seq, j.run.cfg.FinalOnly, &j.run.cnt,
+					j.run.emit, j.run.appendRecord)
+			}
+		}()
+	}
+
+	// One generator per row: ACE enumeration is cheap relative to testing,
+	// and per-row generation keeps corpus sequence numbering identical to a
+	// single-FS campaign, so shards stay mutually resumable.
+	genErrs := make([]error, len(runs))
+	var genWG sync.WaitGroup
+	for i, r := range runs {
+		genWG.Add(1)
+		go func(i int, r *fsRun) {
+			defer genWG.Done()
+			genErrs[i] = r.generate(jobs)
+		}(i, r)
+	}
+	genWG.Wait()
+	close(jobs)
+	wg.Wait()
+
+	for i, r := range runs {
+		if genErrs[i] != nil {
+			return nil, fmt.Errorf("campaign: %s: generation: %w", r.cfg.FS.Name(), genErrs[i])
+		}
+	}
+	matrix := &Matrix{}
+	for _, r := range runs {
+		if err := r.finish(start); err != nil {
+			return nil, fmt.Errorf("campaign: %s: %w", r.cfg.FS.Name(), err)
+		}
+		matrix.PerFS = append(matrix.PerFS, r.stats)
+	}
+	matrix.Elapsed = time.Since(start)
+	return matrix, nil
 }
 
 // runWorkload profiles one workload and crash-tests its persistence points,
@@ -517,6 +656,14 @@ func (s *Stats) Summary() string {
 			fmt.Fprintf(&sb, " (%.0f%% of oracle checks skipped)", 100*s.PruneRate())
 		}
 	}
+	if s.PruneCap > 0 {
+		fmt.Fprintf(&sb, "\nprune cache: %d distinct states held (cap %d/tier)",
+			s.DistinctStates, s.PruneCap)
+		if ev := s.DiskEvictions + s.TreeEvictions; ev > 0 {
+			fmt.Fprintf(&sb, ", %d evicted (%d disk, %d tree)",
+				ev, s.DiskEvictions, s.TreeEvictions)
+		}
+	}
 	if s.Resumed > 0 {
 		fmt.Fprintf(&sb, "\nresumed: %d workloads folded in from %s", s.Resumed, s.CorpusPath)
 	}
@@ -535,6 +682,60 @@ func (s *Stats) Summary() string {
 	for _, g := range s.FreshGroups {
 		sb.WriteByte('\n')
 		sb.WriteString(g.Render())
+	}
+	return sb.String()
+}
+
+// Matrix is the outcome of a multi-file-system campaign: one Stats per
+// file system, in the order the file systems were given.
+type Matrix struct {
+	PerFS   []*Stats
+	Elapsed time.Duration
+}
+
+// ByFS returns the row for one file system (nil if absent).
+func (m *Matrix) ByFS(name string) *Stats {
+	for _, s := range m.PerFS {
+		if s.FSName == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Table renders the merged cross-FS report table: one row per file system
+// with the headline campaign counters.
+func (m *Matrix) Table() string {
+	t := report.NewTable("file system", "generated", "tested", "failing",
+		"groups", "new", "states", "pruned", "evicted")
+	for _, s := range m.PerFS {
+		t.AddRow(
+			s.FSName,
+			fmt.Sprintf("%d", s.Generated),
+			fmt.Sprintf("%d", s.Tested),
+			fmt.Sprintf("%d", s.Failed),
+			fmt.Sprintf("%d", len(s.Groups)),
+			fmt.Sprintf("%d", len(s.FreshGroups)),
+			fmt.Sprintf("%d", s.StatesTotal),
+			fmt.Sprintf("%.0f%%", 100*s.PruneRate()),
+			fmt.Sprintf("%d", s.DiskEvictions+s.TreeEvictions),
+		)
+	}
+	return t.Render()
+}
+
+// Summary renders the cross-FS table followed by each file system's fresh
+// bug groups.
+func (m *Matrix) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "campaign matrix: %d file systems in %.2fs\n\n",
+		len(m.PerFS), m.Elapsed.Seconds())
+	sb.WriteString(m.Table())
+	for _, s := range m.PerFS {
+		for _, g := range s.FreshGroups {
+			sb.WriteByte('\n')
+			sb.WriteString(g.Render())
+		}
 	}
 	return sb.String()
 }

@@ -1,10 +1,13 @@
 package campaign
 
 import (
+	"strings"
 	"testing"
 
 	"b3/internal/ace"
 	"b3/internal/bugs"
+	"b3/internal/corpus"
+	"b3/internal/filesys"
 	"b3/internal/fsmake"
 	"b3/internal/report"
 	"b3/internal/workload"
@@ -299,6 +302,180 @@ func TestResumeIsolatesDifferentSpaces(t *testing.T) {
 	if replay.Resumed == 0 || replay.Failed != first.Failed {
 		t.Fatalf("original shard damaged: resumed=%d failed=%d want %d",
 			replay.Resumed, replay.Failed, first.Failed)
+	}
+}
+
+// TestPruneCapCrossCheck is the acceptance gate for the bounded cache: a
+// campaign whose prune cap sits far below the working set must evict hard
+// and still produce the identical bug-group set as the no-prune
+// cross-check — eviction costs re-checking, never verdicts.
+func TestPruneCapCrossCheck(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  3,
+		MaxWorkloads: 6000,
+	}
+	capped := base
+	capped.PruneCap = 8
+	small, err := Run(capped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPrune := base
+	noPrune.NoPrune = true
+	plain, err := Run(noPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if small.PruneCap != 8 {
+		t.Fatalf("cap not recorded: %d", small.PruneCap)
+	}
+	if small.DiskEvictions+small.TreeEvictions == 0 {
+		t.Fatal("a cap-8 cache under a seq-2 sweep must evict")
+	}
+	if small.DistinctStates > 8 {
+		t.Fatalf("cache exceeded its cap: %d entries", small.DistinctStates)
+	}
+	if small.StatesTotal != plain.StatesTotal {
+		t.Fatalf("modes saw different state counts: %d vs %d", small.StatesTotal, plain.StatesTotal)
+	}
+	if small.Failed != plain.Failed {
+		t.Fatalf("verdicts diverged under eviction: %d vs %d failing", small.Failed, plain.Failed)
+	}
+	assertSameGroups(t, small, plain)
+	if !strings.Contains(small.Summary(), "evicted") {
+		t.Fatal("Summary does not report evictions")
+	}
+}
+
+// TestMatrixCampaign fans one configuration across every registered file
+// system through the shared worker pool. Each row must match a standalone
+// single-FS run of the same configuration, and the reference backend must
+// stay clean.
+func TestMatrixCampaign(t *testing.T) {
+	cfg := Config{
+		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery: 3,
+	}
+	names := fsmake.Names()
+	if testing.Short() {
+		// A buggy row and the clean reference row exercise the machinery;
+		// the full five-FS sweep runs in the long suite.
+		names = []string{"logfs", "diskfmt"}
+	}
+	var fss []filesys.FileSystem
+	for _, name := range names {
+		fs, err := fsmake.NewBugsOnly(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fss = append(fss, fs)
+	}
+	m, err := RunMatrix(cfg, fss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.PerFS) != len(fss) {
+		t.Fatalf("matrix rows = %d, want %d", len(m.PerFS), len(fss))
+	}
+	for i, s := range m.PerFS {
+		if s.FSName != fss[i].Name() {
+			t.Fatalf("row %d is %s, want %s", i, s.FSName, fss[i].Name())
+		}
+		if s.Errors != 0 {
+			t.Fatalf("%s: %d workload errors", s.FSName, s.Errors)
+		}
+		if s.StatesChecked+s.StatesPruned != s.StatesTotal {
+			t.Fatalf("%s: state accounting broken: %d + %d != %d",
+				s.FSName, s.StatesChecked, s.StatesPruned, s.StatesTotal)
+		}
+	}
+	logfsRow := m.ByFS("logfs")
+	if logfsRow == nil || logfsRow.Failed == 0 {
+		t.Fatal("logfs row must find the link bugs")
+	}
+	if ref := m.ByFS("diskfmt"); ref == nil || ref.Failed != 0 {
+		t.Fatalf("the diskfmt reference row must stay clean: %+v", ref)
+	}
+
+	// Every row agrees with a standalone run of the same configuration.
+	for _, fs := range fss {
+		single := cfg
+		single.FS = fs
+		want, err := Run(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := m.ByFS(fs.Name())
+		if got.Generated != want.Generated || got.Tested != want.Tested ||
+			got.Failed != want.Failed || got.StatesTotal != want.StatesTotal {
+			t.Fatalf("%s: matrix row diverged from standalone run:\nmatrix:     gen=%d tested=%d failed=%d states=%d\nstandalone: gen=%d tested=%d failed=%d states=%d",
+				fs.Name(), got.Generated, got.Tested, got.Failed, got.StatesTotal,
+				want.Generated, want.Tested, want.Failed, want.StatesTotal)
+		}
+		assertSameGroups(t, got, want)
+	}
+
+	summary := m.Summary()
+	for _, fs := range fss {
+		if !strings.Contains(summary, fs.Name()) {
+			t.Fatalf("matrix summary misses %s:\n%s", fs.Name(), summary)
+		}
+	}
+	if !strings.Contains(m.Table(), "file system") {
+		t.Fatal("matrix table missing header")
+	}
+}
+
+// TestMatrixRejectsDuplicateFS: two rows with one name would race on one
+// corpus shard; the matrix must refuse upfront.
+func TestMatrixRejectsDuplicateFS(t *testing.T) {
+	fs, err := fsmake.Fixed("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunMatrix(Config{Bounds: ace.Default(1)}, []filesys.FileSystem{fs, fs})
+	if err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate rows not refused: %v", err)
+	}
+}
+
+// TestCorpusDeathFailsCampaign kills the shard file mid-campaign: the
+// append failure must latch, stop generation, and surface as a Run error
+// (which cmd/b3 turns into a non-zero exit) — a campaign whose corpus died
+// must not return Stats that look complete and resumable.
+func TestCorpusDeathFailsCampaign(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	killed := make(chan *corpus.Shard, 1)
+	testShardHook = func(s *corpus.Shard) { killed <- s }
+	defer func() { testShardHook = nil }()
+
+	cfg := Config{
+		FS:              fs,
+		Bounds:          linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:     3,
+		CorpusDir:       t.TempDir(),
+		CheckpointEvery: 1, // observe the dead file on the first append
+	}
+	go func() { (<-killed).Kill() }()
+	stats, err := Run(cfg)
+	if err == nil {
+		t.Fatalf("campaign with a dead corpus returned cleanly: %+v", stats)
+	}
+	if !strings.Contains(err.Error(), "corpus") {
+		t.Fatalf("error does not name the corpus: %v", err)
+	}
+	if stats != nil {
+		t.Fatal("a failed campaign must not return stats")
 	}
 }
 

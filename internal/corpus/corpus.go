@@ -348,6 +348,19 @@ func (s *Shard) checkpointLocked() error {
 	return nil
 }
 
+// Kill closes the shard's underlying file without flushing buffered
+// records, simulating a writer dying mid-campaign: every subsequent Append
+// or Checkpoint fails. It exists for crash-injection tests.
+func (s *Shard) Kill() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.f.Close()
+	// Shrink the buffer so the very next Append flushes and observes the
+	// closed file instead of buffering silently until the next checkpoint.
+	s.FlushEvery = 1
+	s.pending = 1
+}
+
 // Close checkpoints and closes the shard (releasing its lock). Idempotent:
 // a second Close is a no-op, so callers can both defer it for early-return
 // safety and call it explicitly to observe the final checkpoint error.

@@ -271,6 +271,27 @@ func TestConcurrentWritersExcluded(t *testing.T) {
 	}
 }
 
+// TestKilledShardFailsLoudly: once the underlying file dies, every Append
+// and Checkpoint must return an error — a campaign writing into a dead
+// shard must find out immediately, not at the final checkpoint.
+func TestKilledShardFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "kill", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(1, VerdictClean)); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill()
+	if err := s.Append(rec(2, VerdictClean)); err == nil {
+		t.Fatal("Append on a killed shard must fail")
+	}
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on a killed shard must fail")
+	}
+}
+
 func TestResumeRefusesMismatchedMeta(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Create(dir, "shard", testMeta())

@@ -2,8 +2,17 @@
 
 package corpus
 
-import "os"
+import (
+	"errors"
+	"fmt"
+	"os"
+)
 
-// lockFile is a no-op where flock is unavailable; shards are then
-// single-writer by convention.
-func lockFile(*os.File) error { return nil }
+// lockFile refuses to open shards where flock is unavailable. Pretending to
+// lock would let two concurrent campaigns silently interleave JSONL writes
+// into one shard; an explicit error is the honest failure mode until a
+// portable lockfile protocol is implemented.
+func lockFile(f *os.File) error {
+	return fmt.Errorf("corpus: shard %s: single-writer locking is unsupported on this platform: %w",
+		f.Name(), errors.ErrUnsupported)
+}

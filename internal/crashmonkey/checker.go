@@ -22,10 +22,26 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Path, f.Consequence, f.Detail)
 }
 
-// crashIndex is a full walk of the recovered crash state.
+// inodeState is the captured content of one inode: everything the read
+// checks and the tree-tier state hash can observe. Capturing it during the
+// index walk means each regular file is read exactly once per crash state,
+// no matter how many consumers (hashing, content checks, range checks) look
+// at it afterwards.
+type inodeState struct {
+	stat   filesys.Stat
+	data   []byte            // regular files
+	target string            // symlinks
+	xattrs map[string][]byte // every kind
+}
+
+// crashIndex is a full walk of the recovered crash state, carrying the
+// contents of every inode. It is the single read pass over a recovered
+// state: the tree-tier hash and the read checks both consume it instead of
+// re-reading through MountedFS.
 type crashIndex struct {
 	entries map[dentryKey]filesys.Stat
 	paths   map[uint64][]string
+	inodes  map[uint64]*inodeState
 	dirs    []string // all directory paths, root included
 }
 
@@ -33,6 +49,7 @@ func buildIndex(m filesys.MountedFS) (*crashIndex, error) {
 	idx := &crashIndex{
 		entries: make(map[dentryKey]filesys.Stat),
 		paths:   make(map[uint64][]string),
+		inodes:  make(map[uint64]*inodeState),
 	}
 	rootStat, err := m.Stat("/")
 	if err != nil {
@@ -40,6 +57,9 @@ func buildIndex(m filesys.MountedFS) (*crashIndex, error) {
 	}
 	idx.paths[rootStat.Ino] = append(idx.paths[rootStat.Ino], "/")
 	idx.dirs = append(idx.dirs, "/")
+	if err := idx.captureInode(m, "/", rootStat); err != nil {
+		return nil, err
+	}
 	var walk func(dirPath string, dirIno uint64) error
 	walk = func(dirPath string, dirIno uint64) error {
 		ents, err := m.ReadDir(dirPath)
@@ -54,6 +74,9 @@ func buildIndex(m filesys.MountedFS) (*crashIndex, error) {
 			}
 			idx.entries[dentryKey{parent: dirIno, name: ent.Name}] = st
 			idx.paths[st.Ino] = append(idx.paths[st.Ino], p)
+			if err := idx.captureInode(m, p, st); err != nil {
+				return err
+			}
 			if st.Kind == filesys.KindDir {
 				idx.dirs = append(idx.dirs, p)
 				if err := walk(p, st.Ino); err != nil {
@@ -71,6 +94,95 @@ func buildIndex(m filesys.MountedFS) (*crashIndex, error) {
 	}
 	sort.Strings(idx.dirs)
 	return idx, nil
+}
+
+// captureInode records the content of an inode the first time a path
+// resolves to it (hard links share one capture). Every read error is
+// propagated — including ListXattr: a state whose xattr listing fails must
+// not index (or hash) like a state with no xattrs, or the tree tier could
+// reuse a verdict across genuinely different states.
+func (idx *crashIndex) captureInode(m filesys.MountedFS, path string, st filesys.Stat) error {
+	if _, ok := idx.inodes[st.Ino]; ok {
+		return nil
+	}
+	is := &inodeState{stat: st}
+	switch st.Kind {
+	case filesys.KindRegular:
+		data, err := m.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		is.data = data
+	case filesys.KindSymlink:
+		target, err := m.ReadLink(path)
+		if err != nil {
+			return fmt.Errorf("readlink %s: %w", path, err)
+		}
+		is.target = target
+	}
+	xa, err := m.ListXattr(path)
+	if err != nil {
+		return fmt.Errorf("listxattr %s: %w", path, err)
+	}
+	is.xattrs = xa
+	idx.inodes[st.Ino] = is
+	return nil
+}
+
+// fileStateOf renders an indexed inode as a checkable fileState (nil when
+// the inode is not in the index).
+func (idx *crashIndex) fileStateOf(ino uint64) *fileState {
+	is, ok := idx.inodes[ino]
+	if !ok {
+		return nil
+	}
+	out := &fileState{
+		kind:    is.stat.Kind,
+		size:    is.stat.Size,
+		sectors: is.stat.Blocks,
+		nlink:   is.stat.Nlink,
+	}
+	switch is.stat.Kind {
+	case filesys.KindRegular:
+		out.data = is.data
+	case filesys.KindSymlink:
+		out.target = is.target
+		out.size = int64(len(is.target))
+	}
+	if len(is.xattrs) > 0 {
+		out.xattrs = is.xattrs
+	}
+	return out
+}
+
+// walkDirs lists every directory of the mounted state, root included,
+// sorted. The write checks need only the directory skeleton, so they avoid
+// the content capture buildIndex performs.
+func walkDirs(m filesys.MountedFS) ([]string, error) {
+	dirs := []string{"/"}
+	var walk func(dirPath string) error
+	walk = func(dirPath string) error {
+		ents, err := m.ReadDir(dirPath)
+		if err != nil {
+			return err
+		}
+		for _, ent := range ents {
+			if ent.Kind != filesys.KindDir {
+				continue
+			}
+			p := joinPath(dirPath, ent.Name)
+			dirs = append(dirs, p)
+			if err := walk(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk("/"); err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
 }
 
 func joinPath(dir, name string) string {
@@ -101,8 +213,9 @@ func walkFailure(err error) Finding {
 
 // checkReadIndexed runs the read checks (§5.1) over a prebuilt crash
 // index — persisted files and directories are compared against the oracle.
-// The caller builds the index once and shares it with state hashing.
-func (e *Expectation) checkReadIndexed(m filesys.MountedFS, idx *crashIndex) []Finding {
+// The caller builds the index once and shares it with state hashing; the
+// checks never touch the mounted file system again.
+func (e *Expectation) checkReadIndexed(idx *crashIndex) []Finding {
 	var findings []Finding
 	add := func(f Finding) { findings = append(findings, f) }
 
@@ -163,7 +276,7 @@ func (e *Expectation) checkReadIndexed(m filesys.MountedFS, idx *crashIndex) []F
 		if len(paths) == 0 {
 			continue // absence is reported by the dentry checks
 		}
-		findings = append(findings, e.checkContent(m, fe, paths[0])...)
+		findings = append(findings, e.checkContent(idx, fe, ino, paths[0])...)
 	}
 	return findings
 }
@@ -236,22 +349,23 @@ func (e *Expectation) checkChain(idx *crashIndex, head *dentryExpect) (Finding, 
 }
 
 // checkContent compares one inode's crash state against its expectation.
-func (e *Expectation) checkContent(m filesys.MountedFS, fe *fileExpect, path string) []Finding {
+// All content comes from the index; nothing is re-read from the mount.
+func (e *Expectation) checkContent(idx *crashIndex, fe *fileExpect, ino uint64, path string) []Finding {
 	var findings []Finding
 	if fe.level < levelData || fe.state == nil {
 		// Existence-level expectations still carry pinned ranges/minSize
 		// (msync / direct IO).
-		return append(findings, e.checkRanges(m, fe, path)...)
+		return append(findings, e.checkRanges(idx, fe, ino, path)...)
 	}
 	if fe.modified && (len(fe.ranges) > 0 || fe.minSize > 0) {
 		// Direct IO or msync after the snapshot persists out of order with
 		// buffered changes; the pinned ranges and minimum size are the
 		// only content requirements left.
-		return append(findings, e.checkRanges(m, fe, path)...)
+		return append(findings, e.checkRanges(idx, fe, ino, path)...)
 	}
-	actual, err := readState(m, path)
-	if err != nil {
-		return append(findings, Finding{bugs.DataLoss, path, fmt.Sprintf("unreadable: %v", err)})
+	actual := idx.fileStateOf(ino)
+	if actual == nil {
+		return append(findings, Finding{bugs.DataLoss, path, "unreadable: inode missing from crash index"})
 	}
 	checkSectors := fe.level >= levelFull || e.g.FdatasyncPersistsAllocBeyondEOF
 	checkNlink := fe.level >= levelFull && !fe.modified && !fe.nsModified
@@ -264,7 +378,7 @@ func (e *Expectation) checkContent(m filesys.MountedFS, fe *fileExpect, path str
 	for i, want := range candidates {
 		ok, detail := statesEqual(want, actual, fe.level, checkSectors, checkNlink && i == 0)
 		if ok {
-			return append(findings, e.checkRanges(m, fe, path)...)
+			return append(findings, e.checkRanges(idx, fe, ino, path)...)
 		}
 		if i == 0 {
 			firstDetail = detail
@@ -275,29 +389,26 @@ func (e *Expectation) checkContent(m filesys.MountedFS, fe *fileExpect, path str
 		Path:        path,
 		Detail:      firstDetail,
 	})
-	return append(findings, e.checkRanges(m, fe, path)...)
+	return append(findings, e.checkRanges(idx, fe, ino, path)...)
 }
 
-func (e *Expectation) checkRanges(m filesys.MountedFS, fe *fileExpect, path string) []Finding {
+func (e *Expectation) checkRanges(idx *crashIndex, fe *fileExpect, ino uint64, path string) []Finding {
 	if len(fe.ranges) == 0 && fe.minSize == 0 {
 		return nil
 	}
-	var findings []Finding
-	st, err := m.Stat(path)
-	if err != nil || st.Kind != filesys.KindRegular {
+	is, ok := idx.inodes[ino]
+	if !ok || is.stat.Kind != filesys.KindRegular {
 		return nil
 	}
-	if fe.minSize > 0 && st.Size < fe.minSize {
+	var findings []Finding
+	if fe.minSize > 0 && is.stat.Size < fe.minSize {
 		findings = append(findings, Finding{
 			Consequence: bugs.WrongSize,
 			Path:        path,
-			Detail:      fmt.Sprintf("size %d below durable minimum %d", st.Size, fe.minSize),
+			Detail:      fmt.Sprintf("size %d below durable minimum %d", is.stat.Size, fe.minSize),
 		})
 	}
-	data, err := m.ReadFile(path)
-	if err != nil {
-		return append(findings, Finding{bugs.DataLoss, path, fmt.Sprintf("unreadable: %v", err)})
-	}
+	data := is.data
 	for _, r := range fe.ranges {
 		end := r.off + int64(len(r.data))
 		if end > int64(len(data)) || !bytes.Equal(data[r.off:end], r.data) {
@@ -309,39 +420,6 @@ func (e *Expectation) checkRanges(m filesys.MountedFS, fe *fileExpect, path stri
 		}
 	}
 	return findings
-}
-
-func readState(m filesys.MountedFS, path string) (*fileState, error) {
-	st, err := m.Stat(path)
-	if err != nil {
-		return nil, err
-	}
-	out := &fileState{
-		kind:    st.Kind,
-		size:    st.Size,
-		sectors: st.Blocks,
-		nlink:   st.Nlink,
-	}
-	switch st.Kind {
-	case filesys.KindRegular:
-		data, err := m.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		out.data = data
-	case filesys.KindSymlink:
-		target, err := m.ReadLink(path)
-		if err != nil {
-			return nil, err
-		}
-		out.target = target
-		out.size = int64(len(target))
-	}
-	xa, err := m.ListXattr(path)
-	if err == nil && len(xa) > 0 {
-		out.xattrs = xa
-	}
-	return out, nil
 }
 
 func classifyStateDiff(want, got *fileState, detail string) bugs.Consequence {
@@ -371,13 +449,13 @@ func classifyStateDiff(want, got *fileState, detail string) bugs.Consequence {
 // and must run on a disposable fork of the crash state.
 func CheckWrite(m filesys.MountedFS) []Finding {
 	var findings []Finding
-	idx, err := buildIndex(m)
+	allDirs, err := walkDirs(m)
 	if err != nil {
 		return []Finding{{bugs.Unmountable, "/", fmt.Sprintf("walk failed: %v", err)}}
 	}
 
 	// Every surviving directory must accept a new file.
-	for _, dir := range idx.dirs {
+	for _, dir := range allDirs {
 		probe := joinPath(dir, ".b3probe")
 		if err := m.Create(probe); err != nil {
 			findings = append(findings, Finding{
@@ -398,7 +476,7 @@ func CheckWrite(m filesys.MountedFS) []Finding {
 	}
 
 	// Every directory must be removable once emptied (deepest first).
-	dirs := append([]string(nil), idx.dirs...)
+	dirs := append([]string(nil), allDirs...)
 	sort.Slice(dirs, func(i, j int) bool {
 		di, dj := strings.Count(dirs[i], "/"), strings.Count(dirs[j], "/")
 		if di != dj {

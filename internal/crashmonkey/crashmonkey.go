@@ -243,7 +243,7 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 	var treeKey stateKey
 	haveTree := false
 	if mk.Prune != nil && ierr == nil {
-		if th, terr := hashIndex(m, idx); terr == nil {
+		if th, terr := hashIndex(idx); terr == nil {
 			treeKey = stateKey{state: th, oracle: diskKey.oracle}
 			haveTree = true
 			if findings, ok := mk.Prune.lookupTree(treeKey); ok {
@@ -262,7 +262,7 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 	if ierr != nil {
 		res.Findings = append(res.Findings, walkFailure(ierr))
 	} else {
-		res.Findings = append(res.Findings, exp.checkReadIndexed(m, idx)...)
+		res.Findings = append(res.Findings, exp.checkReadIndexed(idx)...)
 	}
 
 	if !mk.SkipWriteChecks {

@@ -1,0 +1,189 @@
+package crashmonkey
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"b3/internal/blockdev"
+	"b3/internal/bugs"
+	"b3/internal/filesys"
+	"b3/internal/fs/logfs"
+)
+
+// xattrFailFS wraps a file system so every mounted instance fails ListXattr
+// on one path — the shape of the bug where hashIndex silently treated a
+// failed xattr listing as "no xattrs".
+type xattrFailFS struct {
+	filesys.FileSystem
+	path string
+	err  error
+}
+
+func (f *xattrFailFS) Mount(dev blockdev.Device) (filesys.MountedFS, error) {
+	m, err := f.FileSystem.Mount(dev)
+	if err != nil {
+		return nil, err
+	}
+	return &xattrFailMount{MountedFS: m, path: f.path, err: f.err}, nil
+}
+
+type xattrFailMount struct {
+	filesys.MountedFS
+	path string
+	err  error
+}
+
+func (m *xattrFailMount) ListXattr(path string) (map[string][]byte, error) {
+	if path == m.path {
+		return nil, m.err
+	}
+	return m.MountedFS.ListXattr(path)
+}
+
+// TestBuildIndexPropagatesXattrError: a state whose xattr listing fails
+// must fail the index walk (like Stat/ReadFile failures do), not hash and
+// check as if it had no xattrs — a wrong tree-tier hit could otherwise
+// reuse a verdict across genuinely different states.
+func TestBuildIndexPropagatesXattrError(t *testing.T) {
+	xerr := errors.New("simulated xattr failure")
+	fs := &xattrFailFS{FileSystem: logfsFixed(), path: "/foo", err: xerr}
+	mk := &Monkey{FS: fs, Prune: NewPruneCache()}
+	res, err := mk.Run(mustParse(t, "xattr-fail", "creat /foo\nsetxattr /foo user.a 4\nfsync /foo\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned {
+		t.Fatal("a state that cannot be fully indexed must never be pruned")
+	}
+	if len(res.Findings) == 0 {
+		t.Fatal("failed index walk produced no finding")
+	}
+	f := res.Findings[0]
+	if f.Consequence != bugs.Unmountable || !strings.Contains(f.Detail, "listxattr /foo") {
+		t.Fatalf("want a walk-failure finding naming listxattr /foo, got %v", f)
+	}
+	if !strings.Contains(f.Detail, xerr.Error()) {
+		t.Fatalf("underlying error lost: %v", f)
+	}
+}
+
+// TestHashIndexRejectsPathlessInode: hashIndex used to index paths[ino][0]
+// unconditionally and would panic on an inode with no recorded paths; a
+// broken index must be reported as an error instead.
+func TestHashIndexRejectsPathlessInode(t *testing.T) {
+	idx := &crashIndex{
+		paths:  map[uint64][]string{7: {}},
+		inodes: map[uint64]*inodeState{},
+	}
+	if _, err := hashIndex(idx); err == nil {
+		t.Fatal("pathless inode must error, not panic")
+	}
+	// A captured path without a captured inode state is equally broken.
+	idx = &crashIndex{
+		paths:  map[uint64][]string{7: {"/x"}},
+		inodes: map[uint64]*inodeState{},
+	}
+	if _, err := hashIndex(idx); err == nil {
+		t.Fatal("uncaptured inode must error, not panic")
+	}
+}
+
+// TestIndexSingleReadPerState is the acceptance criterion for the
+// content-carrying index: on a tree-tier miss (fresh cache) every regular
+// file of the recovered state is read exactly once — the index walk — with
+// the state hash, the content checks, and the range checks all consuming
+// the one capture.
+func TestIndexSingleReadPerState(t *testing.T) {
+	var meter filesys.Meter
+	fs := filesys.Metered(logfsFixed(), &meter)
+	mk := &Monkey{FS: fs}
+	p, err := mk.ProfileWorkload(mustParse(t, "single-read", `
+mkdir /A
+creat /A/foo
+write /A/foo 0 8192
+creat /A/bar
+symlink /A/foo /A/ln
+fsync /A/foo
+sync
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const regularFiles = 2 // /A/foo and /A/bar survive the final checkpoint
+	for _, tc := range []struct {
+		name  string
+		prune *PruneCache
+	}{
+		{"no-prune", nil},
+		{"tree-tier-miss", NewPruneCache()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			mk.Prune = tc.prune
+			meter.Reset()
+			res, err := mk.TestCheckpoint(p, p.Checkpoints())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Buggy() {
+				t.Fatalf("fixed FS flagged: %v", res.Findings)
+			}
+			if res.Pruned {
+				t.Fatal("fresh cache cannot hit")
+			}
+			if got := meter.ReadFileCalls.Load(); got != regularFiles {
+				t.Fatalf("crash state read %d times per regular file set of %d; want exactly one read each",
+					got, regularFiles)
+			}
+			if got := meter.ReadLinkCalls.Load(); got != 1 {
+				t.Fatalf("symlink read %d times, want 1", got)
+			}
+		})
+	}
+}
+
+// TestPruneCacheCapBoundsAndEvicts drives the LRU directly: at a tiny cap
+// the tier count stays bounded, evictions are counted, and an evicted state
+// is transparently re-checked with the identical verdict.
+func TestPruneCacheCapBoundsAndEvicts(t *testing.T) {
+	cache := NewPruneCacheCap(2)
+	mk := &Monkey{FS: logfs.New(logfs.Options{}), Prune: cache}
+
+	// Four distinct single-op states churn a cap-2 cache.
+	var last []*Result
+	for round := 0; round < 2; round++ {
+		last = nil
+		for i := 0; i < 4; i++ {
+			w := mustParse(t, "churn", fmt.Sprintf("creat /f%d\nfsync /f%d\n", i, i))
+			res, err := mk.Run(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last = append(last, res)
+		}
+	}
+	st := cache.Stats()
+	if st.Cap != 2 {
+		t.Fatalf("cap = %d", st.Cap)
+	}
+	if st.DiskStates > 2 || st.TreeStates > 2 {
+		t.Fatalf("tiers exceed cap: disk=%d tree=%d", st.DiskStates, st.TreeStates)
+	}
+	if st.Evictions() == 0 {
+		t.Fatal("churning 4 states through a cap-2 cache must evict")
+	}
+	// Evicted states were re-checked: verdicts equal an uncached Monkey's.
+	plain := &Monkey{FS: logfs.New(logfs.Options{})}
+	for i, res := range last {
+		w := mustParse(t, "churn", fmt.Sprintf("creat /f%d\nfsync /f%d\n", i, i))
+		want, err := plain.Run(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(res.Findings) != fmt.Sprint(want.Findings) {
+			t.Fatalf("verdict after eviction diverged:\n%v\nvs\n%v", res.Findings, want.Findings)
+		}
+	}
+}

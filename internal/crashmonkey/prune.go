@@ -1,6 +1,7 @@
 package crashmonkey
 
 import (
+	"container/list"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,55 +59,138 @@ type PruneStats struct {
 	TreeHits int64
 	// Misses counts states that were fully checked.
 	Misses int64
-	// DiskStates and TreeStates are the distinct states cached per tier.
+	// DiskStates and TreeStates are the distinct states currently cached
+	// per tier (bounded by Cap).
 	DiskStates int64
 	TreeStates int64
+	// DiskEvictions and TreeEvictions count entries dropped to stay under
+	// Cap. An evicted state that recurs is simply re-checked, so eviction
+	// costs throughput, never correctness.
+	DiskEvictions int64
+	TreeEvictions int64
+	// Cap is the per-tier entry bound the cache was built with.
+	Cap int
 }
 
 // Skipped returns the total number of oracle checks avoided.
 func (s PruneStats) Skipped() int64 { return s.DiskHits + s.TreeHits }
 
+// Evictions returns the total entries dropped across both tiers.
+func (s PruneStats) Evictions() int64 { return s.DiskEvictions + s.TreeEvictions }
+
+// DefaultPruneCap bounds each cache tier. It is sized from the seq-2
+// working set with headroom: a full seq-2 sweep caches tens of thousands of
+// distinct (state, oracle) pairs, so at this cap seq-1/seq-2 campaigns see
+// no evictions while seq-3 sweeps run at steady memory instead of growing
+// with every distinct crash state.
+const DefaultPruneCap = 1 << 17
+
+// lruTier is one bounded LRU map from stateKey to a cached value. Not
+// concurrency-safe; PruneCache serializes access.
+type lruTier[V any] struct {
+	cap     int
+	ll      *list.List // front = most recently used; holds *lruEntry[V]
+	entries map[stateKey]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key stateKey
+	val V
+}
+
+func newLRUTier[V any](cap int) *lruTier[V] {
+	return &lruTier[V]{cap: cap, ll: list.New(), entries: make(map[stateKey]*list.Element)}
+}
+
+func (t *lruTier[V]) get(k stateKey) (V, bool) {
+	if el, ok := t.entries[k]; ok {
+		t.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// add inserts k as most recently used (first writer wins, matching the old
+// map semantics) and reports how many entries were evicted to stay in cap.
+func (t *lruTier[V]) add(k stateKey, v V) int {
+	if el, ok := t.entries[k]; ok {
+		t.ll.MoveToFront(el)
+		return 0
+	}
+	t.entries[k] = t.ll.PushFront(&lruEntry[V]{key: k, val: v})
+	evicted := 0
+	for t.cap > 0 && t.ll.Len() > t.cap {
+		back := t.ll.Back()
+		t.ll.Remove(back)
+		delete(t.entries, back.Value.(*lruEntry[V]).key)
+		evicted++
+	}
+	return evicted
+}
+
+func (t *lruTier[V]) len() int { return t.ll.Len() }
+
 // PruneCache is a concurrency-safe verdict cache for representative
-// crash-state pruning. The zero value is not usable; use NewPruneCache.
-// Entries are never evicted: memory grows with the number of distinct
-// (state, oracle) pairs, which stays small because entries hold only keys
-// and findings (nil for clean states) — campaigns at seq-1/seq-2 scale
-// cache tens of thousands of entries in a few MB.
+// crash-state pruning. The zero value is not usable; use NewPruneCache or
+// NewPruneCacheCap. Both tiers are bounded LRUs: memory stays constant over
+// arbitrarily long campaigns, and an evicted (state, oracle) pair that
+// recurs is re-checked — eviction is always verdict-preserving. Entries
+// hold only keys and findings (nil for clean states), so even the default
+// cap costs a few tens of MB at worst.
 type PruneCache struct {
 	mu   sync.Mutex
-	disk map[stateKey]*cachedVerdict
-	tree map[stateKey][]Finding
+	disk *lruTier[*cachedVerdict]
+	tree *lruTier[[]Finding]
 
-	diskHits atomic.Int64
-	treeHits atomic.Int64
-	misses   atomic.Int64
+	diskHits      atomic.Int64
+	treeHits      atomic.Int64
+	misses        atomic.Int64
+	diskEvictions atomic.Int64
+	treeEvictions atomic.Int64
+	cap           int
 }
 
-// NewPruneCache returns an empty cache.
-func NewPruneCache() *PruneCache {
+// NewPruneCache returns an empty cache bounded at DefaultPruneCap entries
+// per tier.
+func NewPruneCache() *PruneCache { return NewPruneCacheCap(DefaultPruneCap) }
+
+// NewPruneCacheCap returns an empty cache holding at most cap entries per
+// tier (cap <= 0 means unbounded — the PR 1 behaviour).
+func NewPruneCacheCap(cap int) *PruneCache {
+	if cap < 0 {
+		cap = 0
+	}
 	return &PruneCache{
-		disk: make(map[stateKey]*cachedVerdict),
-		tree: make(map[stateKey][]Finding),
+		disk: newLRUTier[*cachedVerdict](cap),
+		tree: newLRUTier[[]Finding](cap),
+		cap:  cap,
 	}
 }
+
+// Cap returns the per-tier entry bound (0 = unbounded).
+func (c *PruneCache) Cap() int { return c.cap }
 
 // Stats snapshots the cache counters.
 func (c *PruneCache) Stats() PruneStats {
 	c.mu.Lock()
-	diskStates, treeStates := len(c.disk), len(c.tree)
+	diskStates, treeStates := c.disk.len(), c.tree.len()
 	c.mu.Unlock()
 	return PruneStats{
-		DiskHits:   c.diskHits.Load(),
-		TreeHits:   c.treeHits.Load(),
-		Misses:     c.misses.Load(),
-		DiskStates: int64(diskStates),
-		TreeStates: int64(treeStates),
+		DiskHits:      c.diskHits.Load(),
+		TreeHits:      c.treeHits.Load(),
+		Misses:        c.misses.Load(),
+		DiskStates:    int64(diskStates),
+		TreeStates:    int64(treeStates),
+		DiskEvictions: c.diskEvictions.Load(),
+		TreeEvictions: c.treeEvictions.Load(),
+		Cap:           c.cap,
 	}
 }
 
 func (c *PruneCache) lookupDisk(k stateKey) (*cachedVerdict, bool) {
 	c.mu.Lock()
-	v, ok := c.disk[k]
+	v, ok := c.disk.get(k)
 	c.mu.Unlock()
 	if ok {
 		c.diskHits.Add(1)
@@ -116,7 +200,7 @@ func (c *PruneCache) lookupDisk(k stateKey) (*cachedVerdict, bool) {
 
 func (c *PruneCache) lookupTree(k stateKey) ([]Finding, bool) {
 	c.mu.Lock()
-	fs, ok := c.tree[k]
+	fs, ok := c.tree.get(k)
 	c.mu.Unlock()
 	if ok {
 		c.treeHits.Add(1)
@@ -126,18 +210,20 @@ func (c *PruneCache) lookupTree(k stateKey) ([]Finding, bool) {
 
 func (c *PruneCache) storeDisk(k stateKey, v *cachedVerdict) {
 	c.mu.Lock()
-	if _, ok := c.disk[k]; !ok {
-		c.disk[k] = v
-	}
+	evicted := c.disk.add(k, v)
 	c.mu.Unlock()
+	if evicted > 0 {
+		c.diskEvictions.Add(int64(evicted))
+	}
 }
 
 func (c *PruneCache) storeTree(k stateKey, findings []Finding) {
 	c.mu.Lock()
-	if _, ok := c.tree[k]; !ok {
-		c.tree[k] = findings
-	}
+	evicted := c.tree.add(k, findings)
 	c.mu.Unlock()
+	if evicted > 0 {
+		c.treeEvictions.Add(int64(evicted))
+	}
 }
 
 func cloneFindings(fs []Finding) []Finding {
@@ -312,17 +398,23 @@ func (mk *Monkey) pruneSalt() uint64 {
 	return mk.salt
 }
 
-// hashIndex hashes a mounted (recovered) file system's visible logical
-// state over a prebuilt crash index: paths, kinds, sizes, link counts,
-// allocated sectors, file contents, symlink targets, and extended
-// attributes — everything the read and write checks can distinguish. The
-// caller shares the one walk between state hashing and the read checks.
-// Inodes are hashed once with the full sorted set of their paths, so
-// hard-link structure is captured.
-func hashIndex(m filesys.MountedFS, idx *crashIndex) (uint64, error) {
+// hashIndex hashes a recovered file system's visible logical state from the
+// content-carrying crash index: paths, kinds, sizes, link counts, allocated
+// sectors, file contents, symlink targets, and extended attributes —
+// everything the read and write checks can distinguish. The index is the
+// only source; the mounted file system is never re-read. Inodes are hashed
+// once with the full sorted set of their paths, so hard-link structure is
+// captured.
+func hashIndex(idx *crashIndex) (uint64, error) {
 	h := newHasher()
 	inos := make([]uint64, 0, len(idx.paths))
 	for ino := range idx.paths {
+		// buildIndex records an inode only by appending a path for it, so an
+		// empty path list is a broken index; error instead of indexing into
+		// it below.
+		if len(idx.paths[ino]) == 0 {
+			return 0, fmt.Errorf("crash index invariant broken: inode %d has no paths", ino)
+		}
 		inos = append(inos, ino)
 	}
 	sort.Slice(inos, func(i, j int) bool {
@@ -334,32 +426,21 @@ func hashIndex(m filesys.MountedFS, idx *crashIndex) (uint64, error) {
 		for _, p := range paths {
 			h.str(p)
 		}
-		p := paths[0]
-		st, err := m.Stat(p)
-		if err != nil {
-			return 0, fmt.Errorf("stat %s: %w", p, err)
+		is, ok := idx.inodes[ino]
+		if !ok {
+			return 0, fmt.Errorf("crash index invariant broken: inode %d has no captured state", ino)
 		}
-		h.u64(uint64(st.Kind))
-		h.i64(st.Size)
-		h.i64(st.Blocks)
-		h.i64(int64(st.Nlink))
-		switch st.Kind {
+		h.u64(uint64(is.stat.Kind))
+		h.i64(is.stat.Size)
+		h.i64(is.stat.Blocks)
+		h.i64(int64(is.stat.Nlink))
+		switch is.stat.Kind {
 		case filesys.KindRegular:
-			data, err := m.ReadFile(p)
-			if err != nil {
-				return 0, fmt.Errorf("read %s: %w", p, err)
-			}
-			h.bytes(data)
+			h.bytes(is.data)
 		case filesys.KindSymlink:
-			target, err := m.ReadLink(p)
-			if err != nil {
-				return 0, fmt.Errorf("readlink %s: %w", p, err)
-			}
-			h.str(target)
+			h.str(is.target)
 		}
-		if xa, err := m.ListXattr(p); err == nil {
-			h.xattrs(xa)
-		}
+		h.xattrs(is.xattrs)
 	}
 	return h.h, nil
 }

@@ -134,18 +134,23 @@ func TestPruneRepeatedPersistencePoint(t *testing.T) {
 // TestPruneCrossCheckSeq1 is the soundness cross-check the pruning design
 // demands: over the full seq-1 space, a pruned Monkey and a no-prune
 // Monkey must agree on every crash state of every checkpoint — same
-// mountability, same findings, same report text.
+// mountability, same findings, same report text. The capped variants force
+// LRU eviction pressure far below the working set: verdicts must still be
+// identical, only with more re-checking.
 func TestPruneCrossCheckSeq1(t *testing.T) {
 	cases := []struct {
 		name string
 		fs   filesys.FileSystem
+		cap  int
 	}{
-		{"buggy", logfs.New(logfs.Options{})},
-		{"fixed", logfsFixed()},
+		{"buggy", logfs.New(logfs.Options{}), DefaultPruneCap},
+		{"fixed", logfsFixed(), DefaultPruneCap},
+		{"buggy-capped", logfs.New(logfs.Options{}), 16},
+		{"fixed-capped", logfsFixed(), 16},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			cache := NewPruneCache()
+			cache := NewPruneCacheCap(tc.cap)
 			pruned := &Monkey{FS: tc.fs, Prune: cache}
 			plain := &Monkey{FS: tc.fs}
 			limit := int64(0) // all
@@ -186,8 +191,11 @@ func TestPruneCrossCheckSeq1(t *testing.T) {
 			if st.Skipped() == 0 {
 				t.Fatal("cross-check exercised no pruning")
 			}
-			t.Logf("%d workloads: %d checks, %d skipped (%d disk, %d tree)",
-				n, st.Misses, st.Skipped(), st.DiskHits, st.TreeHits)
+			if tc.cap < DefaultPruneCap && st.Evictions() == 0 {
+				t.Fatal("capped cross-check exercised no eviction")
+			}
+			t.Logf("%d workloads: %d checks, %d skipped (%d disk, %d tree), %d evicted",
+				n, st.Misses, st.Skipped(), st.DiskHits, st.TreeHits, st.Evictions())
 		})
 	}
 }

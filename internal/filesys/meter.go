@@ -1,0 +1,142 @@
+package filesys
+
+import (
+	"sync/atomic"
+
+	"b3/internal/blockdev"
+)
+
+// Meter counts the read-side IO a harness issues against a mounted file
+// system. Wrap a FileSystem with Metered and every instance mounted through
+// it reports into the same counters — the campaign-level view of checker
+// read traffic (EXPERIMENTS.md uses it to quantify the per-crash-state read
+// IO of the AutoChecker hot path).
+type Meter struct {
+	// StatCalls .. ListXattrCalls count read-side API calls.
+	StatCalls      atomic.Int64
+	ReadFileCalls  atomic.Int64
+	ReadDirCalls   atomic.Int64
+	ReadLinkCalls  atomic.Int64
+	ListXattrCalls atomic.Int64
+	// BytesRead totals the payload bytes returned by ReadFile.
+	BytesRead atomic.Int64
+	// Mounts counts Mount calls that succeeded.
+	Mounts atomic.Int64
+}
+
+// Reset zeroes every counter.
+func (mt *Meter) Reset() {
+	mt.StatCalls.Store(0)
+	mt.ReadFileCalls.Store(0)
+	mt.ReadDirCalls.Store(0)
+	mt.ReadLinkCalls.Store(0)
+	mt.ListXattrCalls.Store(0)
+	mt.BytesRead.Store(0)
+	mt.Mounts.Store(0)
+}
+
+// Metered wraps fs so every MountedFS it produces reports read-side IO into
+// mt. Write-side and persistence calls pass through uncounted.
+func Metered(fs FileSystem, mt *Meter) FileSystem {
+	return &meteredFS{inner: fs, meter: mt}
+}
+
+type meteredFS struct {
+	inner FileSystem
+	meter *Meter
+}
+
+func (f *meteredFS) Name() string                           { return f.inner.Name() }
+func (f *meteredFS) Mkfs(dev blockdev.Device) error         { return f.inner.Mkfs(dev) }
+func (f *meteredFS) Fsck(dev blockdev.Device) (bool, error) { return f.inner.Fsck(dev) }
+func (f *meteredFS) Guarantees() Guarantees                 { return f.inner.Guarantees() }
+func (f *meteredFS) Mount(dev blockdev.Device) (MountedFS, error) {
+	m, err := f.inner.Mount(dev)
+	if err != nil {
+		return nil, err
+	}
+	f.meter.Mounts.Add(1)
+	return &meteredMount{inner: m, meter: f.meter}, nil
+}
+
+type meteredMount struct {
+	inner MountedFS
+	meter *Meter
+}
+
+func (m *meteredMount) Create(path string) error { return m.inner.Create(path) }
+func (m *meteredMount) Mkdir(path string) error  { return m.inner.Mkdir(path) }
+func (m *meteredMount) Symlink(target, linkPath string) error {
+	return m.inner.Symlink(target, linkPath)
+}
+func (m *meteredMount) Mkfifo(path string) error               { return m.inner.Mkfifo(path) }
+func (m *meteredMount) Link(oldPath, newPath string) error     { return m.inner.Link(oldPath, newPath) }
+func (m *meteredMount) Unlink(path string) error               { return m.inner.Unlink(path) }
+func (m *meteredMount) Rmdir(path string) error                { return m.inner.Rmdir(path) }
+func (m *meteredMount) Rename(src, dst string) error           { return m.inner.Rename(src, dst) }
+func (m *meteredMount) Truncate(path string, size int64) error { return m.inner.Truncate(path, size) }
+
+func (m *meteredMount) Write(path string, off int64, data []byte) error {
+	return m.inner.Write(path, off, data)
+}
+
+func (m *meteredMount) WriteDirect(path string, off int64, data []byte) error {
+	return m.inner.WriteDirect(path, off, data)
+}
+
+func (m *meteredMount) MWrite(path string, off int64, data []byte) error {
+	return m.inner.MWrite(path, off, data)
+}
+
+func (m *meteredMount) Falloc(path string, mode FallocMode, off, length int64) error {
+	return m.inner.Falloc(path, mode, off, length)
+}
+
+func (m *meteredMount) SetXattr(path, name string, value []byte) error {
+	return m.inner.SetXattr(path, name, value)
+}
+
+func (m *meteredMount) RemoveXattr(path, name string) error {
+	return m.inner.RemoveXattr(path, name)
+}
+
+func (m *meteredMount) Fsync(path string) error     { return m.inner.Fsync(path) }
+func (m *meteredMount) Fdatasync(path string) error { return m.inner.Fdatasync(path) }
+func (m *meteredMount) MSync(path string, off, length int64) error {
+	return m.inner.MSync(path, off, length)
+}
+func (m *meteredMount) Sync() error    { return m.inner.Sync() }
+func (m *meteredMount) Unmount() error { return m.inner.Unmount() }
+
+func (m *meteredMount) Stat(path string) (Stat, error) {
+	m.meter.StatCalls.Add(1)
+	return m.inner.Stat(path)
+}
+
+func (m *meteredMount) ReadFile(path string) ([]byte, error) {
+	m.meter.ReadFileCalls.Add(1)
+	data, err := m.inner.ReadFile(path)
+	if err == nil {
+		m.meter.BytesRead.Add(int64(len(data)))
+	}
+	return data, err
+}
+
+func (m *meteredMount) ReadDir(path string) ([]DirEntry, error) {
+	m.meter.ReadDirCalls.Add(1)
+	return m.inner.ReadDir(path)
+}
+
+func (m *meteredMount) ReadLink(path string) (string, error) {
+	m.meter.ReadLinkCalls.Add(1)
+	return m.inner.ReadLink(path)
+}
+
+func (m *meteredMount) ListXattr(path string) (map[string][]byte, error) {
+	m.meter.ListXattrCalls.Add(1)
+	return m.inner.ListXattr(path)
+}
+
+func (m *meteredMount) Extents(path string) ([]Extent, error) {
+	return m.inner.Extents(path)
+}

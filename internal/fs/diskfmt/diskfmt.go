@@ -86,6 +86,17 @@ func LoadSuperblock(dev blockdev.Device, magic uint32) (Superblock, error) {
 	return Superblock{}, fmt.Errorf("diskfmt: no valid superblock: %w", filesys.ErrCorrupted)
 }
 
+// BlobBlocks returns the number of blocks WriteBlob will consume for a
+// payload of the given length, so callers can bound-check a region before
+// writing anything into it.
+func BlobBlocks(payloadLen int) int64 {
+	e := codec.NewEncoder(32)
+	e.Uint32(0)
+	e.Uint64(0)
+	e.Uint64(0)
+	return (int64(len(e.Bytes())) + int64(payloadLen) + blockdev.BlockSize - 1) / blockdev.BlockSize
+}
+
 // WriteBlob stores a checksummed, length-prefixed payload at startBlock and
 // returns the number of blocks consumed.
 func WriteBlob(dev blockdev.Device, startBlock int64, magic uint32, payload []byte) (int64, error) {

@@ -1,0 +1,288 @@
+package diskfmt
+
+import (
+	"fmt"
+
+	"b3/internal/blockdev"
+	"b3/internal/filesys"
+	"b3/internal/fstree"
+)
+
+// fsMounted is a mounted diskfmt backend instance. Unlike the simulated
+// backends, every method — reads included — rejects a handle that was
+// unmounted: this is the soundness row, so a harness use-after-unmount must
+// surface as an error, not silently serve the stale in-memory tree.
+type fsMounted struct {
+	dev blockdev.Device
+	gen uint64
+	mem *fstree.Tree
+
+	unmounted bool
+}
+
+var _ filesys.MountedFS = (*fsMounted)(nil)
+
+func (m *fsMounted) checkMounted() error {
+	if m.unmounted {
+		return fmt.Errorf("diskfmt: %w", filesys.ErrInvalid)
+	}
+	return nil
+}
+
+// checkpoint makes the entire in-memory tree durable.
+func (m *fsMounted) checkpoint() error {
+	m.gen++
+	return writeFSImage(m.dev, m.gen, m.mem)
+}
+
+// Create implements filesys.MountedFS.
+func (m *fsMounted) Create(path string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Create(path)
+	return err
+}
+
+// Mkdir implements filesys.MountedFS.
+func (m *fsMounted) Mkdir(path string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Mkdir(path)
+	return err
+}
+
+// Symlink implements filesys.MountedFS.
+func (m *fsMounted) Symlink(target, linkPath string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Symlink(target, linkPath)
+	return err
+}
+
+// Mkfifo implements filesys.MountedFS.
+func (m *fsMounted) Mkfifo(path string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Mkfifo(path)
+	return err
+}
+
+// Link implements filesys.MountedFS.
+func (m *fsMounted) Link(oldPath, newPath string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Link(oldPath, newPath)
+	return err
+}
+
+// Unlink implements filesys.MountedFS.
+func (m *fsMounted) Unlink(path string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, _, err := m.mem.Unlink(path)
+	return err
+}
+
+// Rmdir implements filesys.MountedFS.
+func (m *fsMounted) Rmdir(path string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Rmdir(path)
+	return err
+}
+
+// Rename implements filesys.MountedFS.
+func (m *fsMounted) Rename(src, dst string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, _, err := m.mem.Rename(src, dst)
+	return err
+}
+
+// Truncate implements filesys.MountedFS.
+func (m *fsMounted) Truncate(path string, size int64) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Truncate(path, size)
+	return err
+}
+
+// Write implements filesys.MountedFS.
+func (m *fsMounted) Write(path string, off int64, data []byte) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Write(path, off, data)
+	return err
+}
+
+// WriteDirect implements filesys.MountedFS: a direct write reaches the
+// device immediately, which for a whole-image format means an immediate
+// checkpoint.
+func (m *fsMounted) WriteDirect(path string, off int64, data []byte) error {
+	if err := m.Write(path, off, data); err != nil {
+		return err
+	}
+	return m.checkpoint()
+}
+
+// MWrite implements filesys.MountedFS.
+func (m *fsMounted) MWrite(path string, off int64, data []byte) error {
+	return m.Write(path, off, data)
+}
+
+// Falloc implements filesys.MountedFS.
+func (m *fsMounted) Falloc(path string, mode filesys.FallocMode, off, length int64) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.Falloc(path, mode, off, length)
+	return err
+}
+
+// SetXattr implements filesys.MountedFS.
+func (m *fsMounted) SetXattr(path, name string, value []byte) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.SetXattr(path, name, value)
+	return err
+}
+
+// RemoveXattr implements filesys.MountedFS.
+func (m *fsMounted) RemoveXattr(path, name string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	_, err := m.mem.RemoveXattr(path, name)
+	return err
+}
+
+// Fsync implements filesys.MountedFS: full checkpoint.
+func (m *fsMounted) Fsync(path string) error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	if _, err := m.mem.Lookup(path); err != nil {
+		return err
+	}
+	return m.checkpoint()
+}
+
+// Fdatasync implements filesys.MountedFS: full checkpoint (the format has
+// no cheaper data-only path, so fdatasync legitimately persists everything).
+func (m *fsMounted) Fdatasync(path string) error {
+	return m.Fsync(path)
+}
+
+// MSync implements filesys.MountedFS.
+func (m *fsMounted) MSync(path string, off, length int64) error {
+	return m.Fsync(path)
+}
+
+// Sync implements filesys.MountedFS.
+func (m *fsMounted) Sync() error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	return m.checkpoint()
+}
+
+// Unmount implements filesys.MountedFS.
+func (m *fsMounted) Unmount() error {
+	if err := m.checkMounted(); err != nil {
+		return err
+	}
+	if err := m.checkpoint(); err != nil {
+		return err
+	}
+	m.unmounted = true
+	return nil
+}
+
+// Stat implements filesys.MountedFS.
+func (m *fsMounted) Stat(path string) (filesys.Stat, error) {
+	if err := m.checkMounted(); err != nil {
+		return filesys.Stat{}, err
+	}
+	n, err := m.mem.Lookup(path)
+	if err != nil {
+		return filesys.Stat{}, err
+	}
+	return n.Stat(), nil
+}
+
+// ReadFile implements filesys.MountedFS.
+func (m *fsMounted) ReadFile(path string) ([]byte, error) {
+	if err := m.checkMounted(); err != nil {
+		return nil, err
+	}
+	n, err := m.mem.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.Kind == filesys.KindDir {
+		return nil, fmt.Errorf("diskfmt read %q: %w", path, filesys.ErrIsDir)
+	}
+	return append([]byte(nil), n.Data...), nil
+}
+
+// ReadDir implements filesys.MountedFS.
+func (m *fsMounted) ReadDir(path string) ([]filesys.DirEntry, error) {
+	if err := m.checkMounted(); err != nil {
+		return nil, err
+	}
+	return m.mem.ReadDir(path)
+}
+
+// ReadLink implements filesys.MountedFS.
+func (m *fsMounted) ReadLink(path string) (string, error) {
+	if err := m.checkMounted(); err != nil {
+		return "", err
+	}
+	n, err := m.mem.Lookup(path)
+	if err != nil {
+		return "", err
+	}
+	if n.Kind != filesys.KindSymlink {
+		return "", fmt.Errorf("diskfmt readlink %q: %w", path, filesys.ErrInvalid)
+	}
+	return n.Target, nil
+}
+
+// ListXattr implements filesys.MountedFS.
+func (m *fsMounted) ListXattr(path string) (map[string][]byte, error) {
+	if err := m.checkMounted(); err != nil {
+		return nil, err
+	}
+	n, err := m.mem.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte, len(n.Xattrs))
+	for k, v := range n.Xattrs {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out, nil
+}
+
+// Extents implements filesys.MountedFS.
+func (m *fsMounted) Extents(path string) ([]filesys.Extent, error) {
+	if err := m.checkMounted(); err != nil {
+		return nil, err
+	}
+	n, err := m.mem.Lookup(path)
+	if err != nil {
+		return nil, err
+	}
+	return append([]filesys.Extent(nil), n.Extents...), nil
+}

@@ -155,12 +155,13 @@ func writeImage(dev blockdev.Device, gen uint64, t *fstree.Tree) error {
 	if gen%2 == 1 {
 		start = 2 + imageRegionBlocks
 	}
-	blocks, err := diskfmt.WriteBlob(dev, start, imageMagic, payload)
-	if err != nil {
-		return err
-	}
-	if blocks > imageRegionBlocks {
+	// Bound-check before writing: an oversized image must not spill into
+	// the other slot, which holds the committed previous generation.
+	if diskfmt.BlobBlocks(len(payload)) > imageRegionBlocks {
 		return fmt.Errorf("fscqsim: image exceeds region")
+	}
+	if _, err := diskfmt.WriteBlob(dev, start, imageMagic, payload); err != nil {
+		return err
 	}
 	if err := dev.Flush(); err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 
 	"b3/internal/bugs"
 	"b3/internal/filesys"
+	"b3/internal/fs/diskfmt"
 	"b3/internal/fs/f2fsim"
 	"b3/internal/fs/fscqsim"
 	"b3/internal/fs/journalfs"
@@ -15,7 +16,7 @@ import (
 )
 
 // Names lists the available file systems in presentation order.
-func Names() []string { return []string{"logfs", "journalfs", "f2fsim", "fscqsim"} }
+func Names() []string { return []string{"logfs", "journalfs", "f2fsim", "fscqsim", "diskfmt"} }
 
 // Kernel returns the real file system each simulator models (for reports).
 func Kernel(name string) string {
@@ -28,6 +29,8 @@ func Kernel(name string) string {
 		return "F2FS"
 	case "fscqsim":
 		return "FSCQ"
+	case "diskfmt":
+		return "reference"
 	}
 	return name
 }
@@ -44,6 +47,10 @@ func New(name string, ver bugs.Version, override map[string]bool) (filesys.FileS
 		return f2fsim.New(f2fsim.Options{Version: ver, BugOverride: override}), nil
 	case "fscqsim":
 		return fscqsim.New(fscqsim.Options{Version: ver, BugOverride: override}), nil
+	case "diskfmt":
+		// The reference whole-image backend has no bug mechanisms; version
+		// and override select nothing.
+		return diskfmt.NewFS(diskfmt.Options{BugOverride: override}), nil
 	}
 	return nil, fmt.Errorf("fsmake: unknown file system %q (have %v)", name, Names())
 }

@@ -10,6 +10,7 @@ import (
 func TestNamesAndKernels(t *testing.T) {
 	want := map[string]string{
 		"logfs": "btrfs", "journalfs": "ext4", "f2fsim": "F2FS", "fscqsim": "FSCQ",
+		"diskfmt": "reference",
 	}
 	names := Names()
 	if len(names) != len(want) {

@@ -74,3 +74,32 @@ func TestGroupRender(t *testing.T) {
 		}
 	}
 }
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("file system", "tested", "failing")
+	tbl.AddRow("logfs", "820", "215")
+	tbl.AddRow("journalfs", "820", "0")
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header + rule + 2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if lines[1] != strings.Repeat("-", len("file system"))+"  "+
+		strings.Repeat("-", len("tested"))+"  "+strings.Repeat("-", len("failing")) {
+		t.Fatalf("rule row malformed: %q", lines[1])
+	}
+	// Numeric columns right-align under their headers.
+	if !strings.HasSuffix(lines[2], "820      215") && !strings.Contains(lines[2], "   820") {
+		t.Fatalf("numbers not right-aligned: %q", lines[2])
+	}
+	for _, line := range lines[1:] {
+		if len(line) != len(lines[0]) && !strings.HasPrefix(lines[0], "file system") {
+			t.Fatalf("ragged table:\n%s", out)
+		}
+	}
+	// A short row renders with empty padded cells rather than panicking.
+	tbl.AddRow("f2fsim")
+	if !strings.Contains(tbl.Render(), "f2fsim") {
+		t.Fatal("short row dropped")
+	}
+}

@@ -1,0 +1,78 @@
+package report
+
+import "strings"
+
+// Table renders fixed-width text tables — the cross-FS campaign report and
+// any other tabular summary share one formatter. The first column is
+// left-aligned (row labels); every other column is right-aligned (numbers).
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable starts a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends one row; missing cells render empty, extra cells are kept
+// and widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// Render produces the aligned table, one trailing newline included.
+func (t *Table) Render() string {
+	cols := len(t.headers)
+	for _, row := range t.rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, row := range t.rows {
+		measure(row)
+	}
+
+	var sb strings.Builder
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			pad := widths[i] - len(cell)
+			if i == 0 {
+				sb.WriteString(cell)
+				if i != cols-1 {
+					sb.WriteString(strings.Repeat(" ", pad))
+				}
+			} else {
+				sb.WriteString(strings.Repeat(" ", pad))
+				sb.WriteString(cell)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	rule := make([]string, cols)
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
