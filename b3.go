@@ -175,6 +175,12 @@ type Campaign struct {
 	// (the paper's §5.3 strategy); the default crash-tests every
 	// persistence point with representative pruning.
 	FinalOnly bool
+	// Reorder, when positive, additionally sweeps every workload's
+	// bounded-reordering crash states at that bound (the §4.4 extension):
+	// in-order write prefixes plus the in-flight IO epoch with up to
+	// Reorder writes dropped, judged for recoverability and deduplicated
+	// through the prune cache. 0 disables the sweep.
+	Reorder int
 	// NoPrune disables representative crash-state pruning — the
 	// cross-check mode: identical bug verdicts, every state checked.
 	NoPrune bool
@@ -231,6 +237,7 @@ func (c Campaign) config() (campaign.Config, error) {
 		MaxWorkloads: c.MaxWorkloads,
 		SampleEvery:  c.SampleEvery,
 		FinalOnly:    c.FinalOnly,
+		Reorder:      c.Reorder,
 		NoPrune:      c.NoPrune,
 		PruneCap:     c.PruneCap,
 		CorpusDir:    c.CorpusDir,

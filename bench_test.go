@@ -469,27 +469,42 @@ func BenchmarkAblationPrefixReplay(b *testing.B) {
 	b.ReportMetric(float64(states), "prefix-states")
 }
 
-// BenchmarkAblationMidOpExploration measures the full mid-operation sweep
-// (every write prefix + every dropped unflushed write) that validates the
-// core-mechanism assumption (§4.4 limitation 2).
-func BenchmarkAblationMidOpExploration(b *testing.B) {
+// BenchmarkAblationReorderExploration measures the bounded-reordering sweep
+// (every write prefix + the in-flight epoch with up to k writes dropped)
+// that validates the core-mechanism assumption (§4.4 limitation 2), with
+// and without disk-fingerprint deduplication: pruning is what makes the
+// k >= 2 state spaces affordable.
+func BenchmarkAblationReorderExploration(b *testing.B) {
 	fs, _ := fsmake.Fixed("logfs")
-	w := mustParse(b, "midop", phaseWorkload)
-	mk := &crashmonkey.Monkey{FS: fs}
-	p, err := mk.ProfileWorkload(w)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		report, err := mk.ExploreMidOp(p)
-		if err != nil {
-			b.Fatal(err)
+	w := mustParse(b, "reorder", phaseWorkload)
+	for _, bound := range []int{1, 2} {
+		for _, pruned := range []bool{false, true} {
+			name := fmt.Sprintf("k=%d/pruned=%t", bound, pruned)
+			b.Run(name, func(b *testing.B) {
+				mk := &crashmonkey.Monkey{FS: fs}
+				p, err := mk.ProfileWorkload(w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if pruned {
+						// A fresh cache per iteration: the steady-state hit
+						// rate within one sweep is what is being measured.
+						mk.Prune = crashmonkey.NewPruneCache()
+					}
+					report, err := mk.ExploreReorder(p, bound)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !report.Clean() {
+						b.Fatalf("core mechanism broken: %v", report.Broken)
+					}
+					b.ReportMetric(float64(report.States), "reorder-states")
+					b.ReportMetric(float64(report.Checked), "recoveries-run")
+				}
+			})
 		}
-		if !report.Clean() {
-			b.Fatalf("core mechanism broken: %v", report.Broken)
-		}
-		b.ReportMetric(float64(report.States), "mid-op-states")
 	}
 }
 

@@ -9,6 +9,7 @@
 //	b3 -profile seq-2 -corpus runs/         # resumable: progress on disk
 //	b3 -profile seq-2 -corpus runs/ -resume # continue a killed campaign
 //	b3 -profile seq-2 -no-prune             # cross-check: no state pruning
+//	b3 -profile seq-1 -fs all -reorder 1    # + bounded-reordering crash states
 //	b3 -profile seq-3-data -prune-cap 65536 # bound the verdict cache
 //	b3 -reproduce                           # appendix: 24 known bugs
 package main
@@ -39,6 +40,7 @@ func main() {
 		noPrune   = flag.Bool("no-prune", false, "disable representative crash-state pruning (cross-check mode: every state checked)")
 		pruneCap  = flag.Int("prune-cap", 0, "bound each prune-cache tier to this many entries (0 = default cap, negative = unbounded)")
 		finalOnly = flag.Bool("final-only", false, "test only the final persistence point of each workload (the paper's §5.3 strategy)")
+		reorder   = flag.Int("reorder", 0, "also sweep bounded-reordering crash states, dropping up to k in-flight epoch writes (0 = off; 1 = prefixes + drop-one)")
 		corpusDir = flag.String("corpus", "", "persist campaign progress to JSONL shards under this directory")
 		resume    = flag.Bool("resume", false, "resume an interrupted campaign from the -corpus shard")
 	)
@@ -55,7 +57,7 @@ func main() {
 		runFindNewBugs(campaignOpts{
 			workers: *workers, sample: *sample,
 			noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
-			corpusDir: *corpusDir, resume: *resume,
+			reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
 		})
 	case *reproduce:
 		runReproduce()
@@ -64,7 +66,7 @@ func main() {
 			campaignOpts: campaignOpts{
 				workers: *workers, sample: *sample,
 				noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
-				corpusDir: *corpusDir, resume: *resume,
+				reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
 			},
 			profile: *profile, fs: *fsName, maxW: *maxW, dedup: *dedup,
 		})
@@ -104,6 +106,7 @@ type campaignOpts struct {
 	sample             int64
 	noPrune, finalOnly bool
 	pruneCap           int
+	reorder            int
 	corpusDir          string
 	resume             bool
 }
@@ -136,6 +139,7 @@ func runFindNewBugs(o campaignOpts) {
 	fmt.Println("=== Table 5 campaign: seq-1 + seq-2 on every file system at kernel 4.16")
 	fmt.Println("(previously reported bugs patched; undiscovered bugs live)")
 	found := map[string]bool{}
+	var allStats []*b3.CampaignStats
 	for _, fsName := range b3.FSNames() {
 		fs, err := b3.NewFS(fsName, b3.CampaignConfig())
 		if err != nil {
@@ -146,6 +150,7 @@ func runFindNewBugs(o campaignOpts) {
 				FS: fs, Profile: p, Workers: o.workers,
 				SampleEvery: o.sample, DedupKnown: true,
 				NoPrune: o.noPrune, PruneCap: o.pruneCap, FinalOnly: o.finalOnly,
+				Reorder: o.reorder,
 				// Each (fs, profile) pair gets its own corpus shard.
 				CorpusDir: o.corpusDir, Resume: o.resume,
 			})
@@ -154,10 +159,30 @@ func runFindNewBugs(o campaignOpts) {
 			}
 			fmt.Printf("\n--- %s %s ---\n%s\n", fsName, p, stats.Summary())
 			attributeBugs(fs, stats, found)
+			allStats = append(allStats, stats)
 		}
 	}
 	fmt.Println()
 	fmt.Print(b3.Table5(found))
+	exitOnBrokenReorder(allStats)
+}
+
+// exitOnBrokenReorder enforces the reorder contract on every campaign mode:
+// bug findings are the product and exit 0, but a broken reorder state means
+// the core-mechanism assumption (every bounded-reordering crash state
+// mounts or is fsck-repairable) failed, which scripts and CI must see.
+func exitOnBrokenReorder(rows []*b3.CampaignStats) {
+	broken := false
+	for _, s := range rows {
+		if s.ReorderBroken > 0 {
+			broken = true
+			fmt.Fprintf(os.Stderr, "b3: %s: %d reorder state(s) neither mounted nor repaired\n",
+				s.FSName, s.ReorderBroken)
+		}
+	}
+	if broken {
+		os.Exit(1)
+	}
 }
 
 // attributeBugs marks which Table 5 mechanisms the campaign's groups
@@ -251,8 +276,9 @@ func runProfile(r profileRun) {
 		Profile: b3.ProfileName(r.profile), Workers: r.workers,
 		SampleEvery: r.sample, MaxWorkloads: r.maxW, DedupKnown: r.dedup,
 		NoPrune: r.noPrune, PruneCap: r.pruneCap, FinalOnly: r.finalOnly,
-		CorpusDir: r.corpusDir, Resume: r.resume,
+		Reorder: r.reorder, CorpusDir: r.corpusDir, Resume: r.resume,
 	}
+	var rows []*b3.CampaignStats
 	if len(fss) == 1 {
 		c.FS = fss[0]
 		stats, err := b3.RunCampaign(c)
@@ -260,13 +286,16 @@ func runProfile(r profileRun) {
 			fatal(err)
 		}
 		fmt.Print(stats.Summary())
-		return
+		rows = append(rows, stats)
+	} else {
+		matrix, err := b3.RunCampaignMatrix(c, fss)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(matrix.Summary())
+		rows = matrix.PerFS
 	}
-	matrix, err := b3.RunCampaignMatrix(c, fss)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Print(matrix.Summary())
+	exitOnBrokenReorder(rows)
 }
 
 func fatal(err error) {

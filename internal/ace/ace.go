@@ -121,13 +121,25 @@ func Default(seqLen int) Bounds {
 	}
 }
 
+// GenFormat versions the enumeration order itself. Corpus records are keyed
+// by 1-based generation sequence number, so any change to the order or the
+// set of emitted workloads — a pruning-guard fix, a new phase, reordered
+// choices — silently remaps every recorded verdict onto a different
+// workload unless resume is refused. Bump this whenever Generate's output
+// sequence changes for equal Bounds.
+//
+// History: 1 = seed enumeration; 2 = dir-rename symmetry fix (cross-
+// directory directory pairs are generated in both orders).
+const GenFormat = 2
+
 // Fingerprint returns a stable hash string identifying the exact workload
 // space, generation order included: equal fingerprints mean Generate emits
 // the same workloads with the same sequence numbers. Campaign corpora use
-// it to refuse resuming against a different space.
+// it to refuse resuming against a different space; GenFormat folds the
+// (otherwise implicit) enumeration order into the contract.
 func (b Bounds) Fingerprint() string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%#v", b)
+	fmt.Fprintf(h, "gen%d|%#v", GenFormat, b)
 	return fmt.Sprintf("%016x", h.Sum64())
 }
 
@@ -266,10 +278,17 @@ func (b Bounds) paramChoices(kind workload.OpKind) []choice {
 					[]string{dst, parentOf(dst), parentOf(src)}, false)
 			}
 		}
-		// Directory renames (the Table 5 #4/#10 shape).
+		// Directory renames (the Table 5 #4/#10 shape). Only same-directory
+		// pairs are symmetric, so cross-directory pairs must be kept in both
+		// orders — an unconditional src > dst guard silently dropped every
+		// upward rename of a nested dir over a lexicographically smaller
+		// target (e.g. rename(/B/C, /A)). Like any phase-2 choice, a pair
+		// may still be structurally impossible (rename(/A/C, /A) moves a
+		// dir over its own never-empty parent); phase 4's model validation
+		// discards those.
 		for _, src := range b.Dirs {
 			for _, dst := range b.Dirs {
-				if src == dst || src > dst {
+				if src == dst || (sameDir(src, dst) && src > dst) {
 					continue
 				}
 				add(workload.Op{Kind: kind, Path: src, Path2: dst},

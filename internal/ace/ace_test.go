@@ -1,6 +1,7 @@
 package ace
 
 import (
+	"strings"
 	"testing"
 
 	"b3/internal/crashmonkey"
@@ -106,6 +107,108 @@ func TestSymmetryPruning(t *testing.T) {
 	}
 	if !seen[[2]string{"/foo", "/A/foo"}] || !seen[[2]string{"/A/foo", "/foo"}] {
 		t.Fatal("cross-directory pairs must both be kept")
+	}
+}
+
+// TestDirRenameSymmetryPruning is the regression for the dir-rename
+// over-pruning: only same-directory pairs are symmetric, so cross-directory
+// directory pairs must be generated in both orders — the upward direction
+// (nested source, shallower destination) was silently skipped whenever the
+// source sorted after the destination.
+func TestDirRenameSymmetryPruning(t *testing.T) {
+	nested, err := Profile(ProfileSeq3Nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirPairs := func(b Bounds) map[[2]string]bool {
+		out := map[[2]string]bool{}
+		dirs := map[string]bool{}
+		for _, d := range b.Dirs {
+			dirs[d] = true
+		}
+		for _, c := range b.paramChoices(workload.OpRename) {
+			if dirs[c.op.Path] {
+				out[[2]string{c.op.Path, c.op.Path2}] = true
+			}
+		}
+		return out
+	}
+
+	// Both directions reach phase 2. (For the nested {/A, /A/C} pair both
+	// are structurally impossible renames — over the never-empty parent one
+	// way, into the own subtree the other — and phase 4's model validation
+	// discards them; the end-to-end check below uses a viable shape.)
+	pairs := dirPairs(nested)
+	if !pairs[[2]string{"/A/C", "/A"}] {
+		t.Fatalf("seq-3-nested never enumerates the upward rename(/A/C, /A) choice: %v", pairs)
+	}
+	if !pairs[[2]string{"/A", "/A/C"}] {
+		t.Fatalf("downward dir rename choice missing: %v", pairs)
+	}
+
+	// Same-directory pairs stay canonically ordered, exactly like files.
+	def := dirPairs(Default(2))
+	if def[[2]string{"/B", "/A"}] {
+		t.Fatal("same-directory dir pair not pruned to canonical order")
+	}
+	if !def[[2]string{"/A", "/B"}] {
+		t.Fatal("canonical same-directory dir pair missing")
+	}
+
+	// Generation count: cross-directory custom bounds must emit exactly the
+	// two directions, and the upward one must survive phase 4 end-to-end.
+	b := Bounds{
+		SeqLen: 1,
+		Ops:    []workload.OpKind{workload.OpRename},
+		Dirs:   []string{"/A", "/B/C"},
+	}
+	if got := len(dirPairs(b)); got != 2 {
+		t.Fatalf("cross-directory dir bounds yield %d rename choices, want 2", got)
+	}
+	upward := 0
+	if _, err := New(b).Generate(func(w *workload.Workload) bool {
+		if strings.Contains(w.String(), "rename /B/C /A") {
+			upward++
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if upward == 0 {
+		t.Fatal("no generated workload performs the upward rename /B/C -> /A")
+	}
+}
+
+// TestRenameDirnessFromBounds is the regression for the hardcoded
+// {"/A", "/B", "/A/C"} directory list in depBuilder.prepare: custom bounds
+// whose directories carry other names must still classify a directory
+// rename as a directory rename — its dependency is a mkdir, not a creat of
+// a same-named regular file.
+func TestRenameDirnessFromBounds(t *testing.T) {
+	b := Bounds{
+		SeqLen: 1,
+		Ops:    []workload.OpKind{workload.OpRename},
+		Files:  []string{"/foo"},
+		Dirs:   []string{"/D", "/E"},
+	}
+	found := false
+	if _, err := New(b).Generate(func(w *workload.Workload) bool {
+		if !strings.Contains(w.String(), "rename /D /E") {
+			return true
+		}
+		found = true
+		if !strings.Contains(w.String(), "mkdir /D") {
+			t.Fatalf("rename /D /E not prepared with mkdir /D:\n%s", w)
+		}
+		if strings.Contains(w.String(), "creat /D") {
+			t.Fatalf("directory /D misclassified as a file:\n%s", w)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("rename /D /E never generated")
 	}
 }
 

@@ -13,6 +13,9 @@ type Generator struct {
 	Bounds Bounds
 	// prefix used in workload IDs.
 	IDPrefix string
+	// dirSet caches Bounds.Dirs as a set for phase-4 dependency building;
+	// rebuilt at the start of every Generate so Bounds edits take effect.
+	dirSet map[string]bool
 }
 
 // New returns a generator over the given bounds.
@@ -24,6 +27,10 @@ func New(b Bounds) *Generator { return &Generator{Bounds: b, IDPrefix: "ace"} }
 func (g *Generator) Generate(fn func(w *workload.Workload) bool) (int64, error) {
 	if g.Bounds.SeqLen < 1 {
 		return 0, fmt.Errorf("ace: sequence length must be >= 1")
+	}
+	g.dirSet = make(map[string]bool, len(g.Bounds.Dirs))
+	for _, d := range g.Bounds.Dirs {
+		g.dirSet[d] = true
 	}
 	// Phase 2 choices per op kind, computed once.
 	choicesByKind := make(map[workload.OpKind][]choice, len(g.Bounds.Ops))
@@ -130,6 +137,10 @@ func (g *Generator) Count() (int64, error) {
 type depBuilder struct {
 	model *fstree.Tree
 	deps  []workload.Op
+	// dirs marks the paths the generator's bounds declare as directories,
+	// so a rename of a not-yet-existing path is classified by the bounds it
+	// was drawn from instead of a hardcoded name list.
+	dirs map[string]bool
 }
 
 // ensureDirChain creates missing ancestor directories of path.
@@ -243,11 +254,13 @@ func (d *depBuilder) prepare(op workload.Op) bool {
 		}
 		return !d.model.Exists(op.Path2)
 	case workload.OpRename:
-		isDir := false
-		for _, dd := range []string{"/A", "/B", "/A/C"} {
-			if op.Path == dd {
-				isDir = true
-			}
+		// Directory-ness of the source decides the dependency shape. The
+		// model wins when the path already exists (an earlier op may have
+		// created it either way); otherwise the generator's bounds say which
+		// argument set the path came from.
+		isDir := d.dirs[op.Path]
+		if n, err := d.model.Lookup(op.Path); err == nil {
+			isDir = n.Kind == filesys.KindDir
 		}
 		if isDir {
 			if !d.ensureDir(op.Path) {
@@ -342,7 +355,7 @@ func (d *depBuilder) apply(op workload.Op) bool {
 // It returns nil when the combination is invalid (e.g. creat of a file
 // another op requires to pre-exist).
 func (g *Generator) phase4(assigned []choice, persist []persistChoice) *workload.Workload {
-	d := &depBuilder{model: fstree.New()}
+	d := &depBuilder{model: fstree.New(), dirs: g.dirSet}
 	w := &workload.Workload{}
 
 	for i, c := range assigned {

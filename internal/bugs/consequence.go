@@ -1,5 +1,7 @@
 package bugs
 
+import "sort"
+
 // Consequence is the fine-grained observable effect of a crash-consistency
 // bug, as classified by the AutoChecker. Bucket maps it onto the paper's
 // Table 1 categories.
@@ -62,6 +64,20 @@ var consequenceNames = map[Consequence]string{
 	CannotCreateFiles:   "unable to create new files",
 	WrongLocation:       "persisted file in wrong directory",
 	ResurrectedEntry:    "persisted deletion resurrected",
+}
+
+// Consequences lists every classified consequence (ConsequenceNone
+// excluded), in numeric order. Exhaustiveness tests in the checker rank
+// themselves against this registry.
+func Consequences() []Consequence {
+	out := make([]Consequence, 0, len(consequenceNames)-1)
+	for c := range consequenceNames {
+		if c != ConsequenceNone {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // String returns the human-readable consequence.

@@ -58,6 +58,13 @@ type Config struct {
 	// final persistence point of each workload. The default crash-tests
 	// every persistence point.
 	FinalOnly bool
+	// Reorder, when positive, additionally sweeps every workload's
+	// bounded-reordering crash states at that bound (§4.4 limitation 2):
+	// in-order write prefixes plus the in-flight epoch with up to Reorder
+	// writes dropped. Those states are judged for recoverability
+	// (mount/fsck), not against the oracle, and byte-identical states share
+	// one verdict through the row's prune cache. 0 disables the sweep.
+	Reorder int
 	// NoPrune disables representative crash-state pruning: every crash
 	// state is checked against the oracle. This is the cross-check mode —
 	// it must produce the identical set of bug verdicts, only slower.
@@ -95,8 +102,9 @@ func (cfg *Config) configFingerprint() string {
 	if sample <= 0 {
 		sample = 1
 	}
-	return fmt.Sprintf("%s|sample=%d|final=%t|writechecks=%t",
-		cfg.Bounds.Fingerprint(), sample, cfg.FinalOnly, !cfg.SkipWriteChecks)
+	return fmt.Sprintf("%s|sample=%d|final=%t|writechecks=%t|reorder=%d",
+		cfg.Bounds.Fingerprint(), sample, cfg.FinalOnly, !cfg.SkipWriteChecks,
+		max(cfg.Reorder, 0))
 }
 
 // Stats is the campaign outcome.
@@ -124,6 +132,18 @@ type Stats struct {
 	PruneCap      int
 	DiskEvictions int64
 	TreeEvictions int64
+
+	// Reorder accounting (zero when Config.Reorder is 0). ReorderBound is
+	// the bound the campaign ran with; ReorderStates counts the
+	// bounded-reordering crash states constructed, ReorderChecked the
+	// recoveries actually run, ReorderPruned the verdicts reused from the
+	// prune cache, and ReorderBroken the states that neither mounted nor
+	// were repaired by fsck — violations of the core-mechanism assumption.
+	ReorderBound   int
+	ReorderStates  int64
+	ReorderChecked int64
+	ReorderPruned  int64
+	ReorderBroken  int64
 
 	// Resumed counts workloads whose verdicts were folded in from the
 	// corpus shard instead of being re-tested; CorpusPath is the shard.
@@ -179,12 +199,14 @@ func (s *Stats) AvgDirtyBytes() int64 {
 
 // counters aggregates worker-side statistics.
 type counters struct {
-	tested, failed, errs       atomic.Int64
-	statesTotal, statesChecked atomic.Int64
-	statesPruned               atomic.Int64
-	prunedDisk, prunedTree     atomic.Int64
-	profNS, replayNS, checkNS  atomic.Int64
-	dirtyTot, dirtyN, dirtyMax atomic.Int64
+	tested, failed, errs          atomic.Int64
+	statesTotal, statesChecked    atomic.Int64
+	statesPruned                  atomic.Int64
+	prunedDisk, prunedTree        atomic.Int64
+	reorderStates, reorderChecked atomic.Int64
+	reorderPruned, reorderBroken  atomic.Int64
+	profNS, replayNS, checkNS     atomic.Int64
+	dirtyTot, dirtyN, dirtyMax    atomic.Int64
 }
 
 // testShardHook, when non-nil, observes every corpus shard a campaign
@@ -239,6 +261,8 @@ func (r *fsRun) emit(rep *report.Report) {
 func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
 	r.stats.Resumed++
 	r.cnt.statesTotal.Add(int64(rec.States))
+	r.cnt.reorderStates.Add(int64(rec.RStates))
+	r.cnt.reorderBroken.Add(int64(rec.RBroken))
 	if r.cfg.NoPrune {
 		// The shard may have been written with pruning on (prune mode is
 		// excluded from the config fingerprint on purpose). A no-prune run
@@ -246,9 +270,12 @@ func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
 		// prune-skips count as checked here — their verdicts were
 		// established, just via the cache.
 		r.cnt.statesChecked.Add(int64(rec.Checked) + int64(rec.Pruned))
+		r.cnt.reorderChecked.Add(int64(rec.RChecked) + int64(rec.RPruned))
 	} else {
 		r.cnt.statesChecked.Add(int64(rec.Checked))
 		r.cnt.statesPruned.Add(int64(rec.Pruned))
+		r.cnt.reorderChecked.Add(int64(rec.RChecked))
+		r.cnt.reorderPruned.Add(int64(rec.RPruned))
 	}
 	if rec.Errored || rec.Verdict == corpus.VerdictError {
 		r.cnt.errs.Add(1)
@@ -384,6 +411,11 @@ func (r *fsRun) finish(start time.Time) error {
 	stats.StatesPruned = cnt.statesPruned.Load()
 	stats.PrunedDisk = cnt.prunedDisk.Load()
 	stats.PrunedTree = cnt.prunedTree.Load()
+	stats.ReorderBound = max(r.cfg.Reorder, 0)
+	stats.ReorderStates = cnt.reorderStates.Load()
+	stats.ReorderChecked = cnt.reorderChecked.Load()
+	stats.ReorderPruned = cnt.reorderPruned.Load()
+	stats.ReorderBroken = cnt.reorderBroken.Load()
 	if r.cache != nil {
 		cs := r.cache.Stats()
 		stats.DistinctStates = cs.DiskStates
@@ -507,8 +539,7 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 					}
 					monkeys[j.run] = mk
 				}
-				runWorkload(mk, j.w, j.seq, j.run.cfg.FinalOnly, &j.run.cnt,
-					j.run.emit, j.run.appendRecord)
+				j.run.runWorkload(mk, j.w, j.seq)
 			}
 		}()
 	}
@@ -545,11 +576,12 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 	return matrix, nil
 }
 
-// runWorkload profiles one workload and crash-tests its persistence points,
+// runWorkload profiles one workload, crash-tests its persistence points,
+// and (when Reorder is set) sweeps its bounded-reordering crash states,
 // reporting buggy states and recording the outcome to the corpus.
-func runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq int64,
-	finalOnly bool, cnt *counters, emit func(*report.Report),
-	record func(*corpus.WorkloadRecord)) {
+func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq int64) {
+	cnt, emit, record := &r.cnt, r.emit, r.appendRecord
+	finalOnly := r.cfg.FinalOnly
 
 	rec := &corpus.WorkloadRecord{Seq: seq, ID: w.ID, Verdict: corpus.VerdictClean}
 	p, err := mk.ProfileWorkload(w)
@@ -623,6 +655,27 @@ func runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq int64,
 			rec.Reports = append(rec.Reports, cr)
 		}
 	}
+	// The bounded-reordering sweep rides the same profile. It is skipped for
+	// workloads that already errored so the recorded RStates/RBroken totals
+	// are a deterministic function of the workload (what resume compares
+	// against); the RChecked/RPruned split depends on shared prune-cache
+	// state and worker interleaving, so only its sum is stable.
+	if r.cfg.Reorder > 0 && !rec.Errored {
+		rr, err := mk.ExploreReorder(p, r.cfg.Reorder)
+		if err != nil {
+			cnt.errs.Add(1)
+			rec.Errored = true
+		} else {
+			rec.RStates = rr.States
+			rec.RChecked = rr.Checked
+			rec.RPruned = rr.Pruned
+			rec.RBroken = len(rr.Broken)
+			cnt.reorderStates.Add(int64(rr.States))
+			cnt.reorderChecked.Add(int64(rr.Checked))
+			cnt.reorderPruned.Add(int64(rr.Pruned))
+			cnt.reorderBroken.Add(int64(len(rr.Broken)))
+		}
+	}
 	if rec.Verdict == corpus.VerdictBuggy {
 		cnt.failed.Add(1)
 		rec.Skeleton = w.Skeleton()
@@ -663,6 +716,10 @@ func (s *Stats) Summary() string {
 			fmt.Fprintf(&sb, ", %d evicted (%d disk, %d tree)",
 				ev, s.DiskEvictions, s.TreeEvictions)
 		}
+	}
+	if s.ReorderBound > 0 {
+		fmt.Fprintf(&sb, "\nreorder (k=%d): %d states constructed, %d checked, %d pruned, %d broken",
+			s.ReorderBound, s.ReorderStates, s.ReorderChecked, s.ReorderPruned, s.ReorderBroken)
 	}
 	if s.Resumed > 0 {
 		fmt.Fprintf(&sb, "\nresumed: %d workloads folded in from %s", s.Resumed, s.CorpusPath)
@@ -707,7 +764,7 @@ func (m *Matrix) ByFS(name string) *Stats {
 // with the headline campaign counters.
 func (m *Matrix) Table() string {
 	t := report.NewTable("file system", "generated", "tested", "failing",
-		"groups", "new", "states", "pruned", "evicted")
+		"groups", "new", "states", "pruned", "evicted", "reorder", "r-broken")
 	for _, s := range m.PerFS {
 		t.AddRow(
 			s.FSName,
@@ -719,6 +776,8 @@ func (m *Matrix) Table() string {
 			fmt.Sprintf("%d", s.StatesTotal),
 			fmt.Sprintf("%.0f%%", 100*s.PruneRate()),
 			fmt.Sprintf("%d", s.DiskEvictions+s.TreeEvictions),
+			fmt.Sprintf("%d", s.ReorderStates),
+			fmt.Sprintf("%d", s.ReorderBroken),
 		)
 	}
 	return t.Render()

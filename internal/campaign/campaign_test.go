@@ -186,6 +186,161 @@ func assertSameGroups(t *testing.T, a, b *Stats) {
 	}
 }
 
+// TestReorderCampaignCrossCheck is the acceptance gate for the campaign
+// reorder mode: a pruned k=1 sweep constructs the same reorder states as
+// the unpruned cross-check with identical broken verdicts while running
+// strictly fewer recoveries, and the accounting threads through Stats and
+// the matrix table.
+func TestReorderCampaignCrossCheck(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  5,
+		MaxWorkloads: 2000,
+		Reorder:      1,
+	}
+	pruned, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPrune := base
+	noPrune.NoPrune = true
+	plain, err := Run(noPrune)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pruned.ReorderBound != 1 || plain.ReorderBound != 1 {
+		t.Fatalf("reorder bound not recorded: %d / %d", pruned.ReorderBound, plain.ReorderBound)
+	}
+	if pruned.ReorderStates == 0 {
+		t.Fatal("reorder mode constructed no states")
+	}
+	if pruned.ReorderChecked+pruned.ReorderPruned != pruned.ReorderStates {
+		t.Fatalf("reorder accounting broken: %d checked + %d pruned != %d states",
+			pruned.ReorderChecked, pruned.ReorderPruned, pruned.ReorderStates)
+	}
+	if plain.ReorderPruned != 0 || plain.ReorderChecked != plain.ReorderStates {
+		t.Fatalf("no-prune mode pruned reorder states: %+v", plain)
+	}
+	if pruned.ReorderStates != plain.ReorderStates {
+		t.Fatalf("modes saw different reorder spaces: %d vs %d",
+			pruned.ReorderStates, plain.ReorderStates)
+	}
+	if pruned.ReorderChecked >= plain.ReorderChecked {
+		t.Fatalf("pruning ran no fewer reorder recoveries: %d vs %d",
+			pruned.ReorderChecked, plain.ReorderChecked)
+	}
+	if pruned.ReorderBroken != plain.ReorderBroken {
+		t.Fatalf("broken-state verdicts diverged: %d vs %d",
+			pruned.ReorderBroken, plain.ReorderBroken)
+	}
+	// The oracle-side verdicts are untouched by the reorder sweep.
+	if pruned.Failed != plain.Failed {
+		t.Fatalf("oracle verdicts diverged: %d vs %d failing", pruned.Failed, plain.Failed)
+	}
+	assertSameGroups(t, pruned, plain)
+	if !strings.Contains(pruned.Summary(), "reorder (k=1)") {
+		t.Fatalf("Summary misses the reorder line:\n%s", pruned.Summary())
+	}
+	t.Logf("reorder: %d states, %d checked pruned-mode vs %d unpruned, %d broken",
+		pruned.ReorderStates, pruned.ReorderChecked, plain.ReorderChecked, pruned.ReorderBroken)
+
+	// A reorder campaign without reordering reports zeros and a table
+	// without surprises; with reordering the matrix gains the column.
+	m, err := RunMatrix(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := m.Table()
+	if !strings.Contains(table, "reorder") || !strings.Contains(table, "r-broken") {
+		t.Fatalf("matrix table misses the reorder columns:\n%s", table)
+	}
+	row := m.ByFS("logfs")
+	if row == nil || row.ReorderStates != pruned.ReorderStates {
+		t.Fatalf("matrix row reorder accounting diverged from standalone run: %+v", row)
+	}
+}
+
+// TestReorderResumeMatchesUninterrupted: reorder totals recorded in the
+// corpus shard fold back in on resume, so a killed-and-resumed reorder
+// campaign reports the same reorder accounting as an uninterrupted one.
+func TestReorderResumeMatchesUninterrupted(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  5,
+		MaxWorkloads: 1500,
+		Reorder:      1,
+	}
+	uninterrupted, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	partial := base
+	partial.CorpusDir = dir
+	partial.MaxWorkloads = 700
+	partial.CheckpointEvery = 16
+	if _, err := Run(partial); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := base
+	resume.CorpusDir = dir
+	resume.Resume = true
+	resumed, err := Run(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == 0 {
+		t.Fatal("resume folded in no recorded workloads")
+	}
+	if resumed.StatesTotal != uninterrupted.StatesTotal ||
+		resumed.Failed != uninterrupted.Failed {
+		t.Fatalf("oracle totals diverged: states %d vs %d, failed %d vs %d",
+			resumed.StatesTotal, uninterrupted.StatesTotal,
+			resumed.Failed, uninterrupted.Failed)
+	}
+	if resumed.ReorderStates != uninterrupted.ReorderStates {
+		t.Fatalf("reorder states diverged after resume: %d vs %d",
+			resumed.ReorderStates, uninterrupted.ReorderStates)
+	}
+	if resumed.ReorderBroken != uninterrupted.ReorderBroken {
+		t.Fatalf("reorder broken verdicts diverged after resume: %d vs %d",
+			resumed.ReorderBroken, uninterrupted.ReorderBroken)
+	}
+	if resumed.ReorderChecked+resumed.ReorderPruned != resumed.ReorderStates {
+		t.Fatalf("resumed reorder accounting broken: %d + %d != %d",
+			resumed.ReorderChecked, resumed.ReorderPruned, resumed.ReorderStates)
+	}
+	assertSameGroups(t, resumed, uninterrupted)
+
+	// A reorder campaign must not resume a shard recorded without reordering
+	// (the recorded totals would be missing): the config fingerprint keys
+	// them to different shards.
+	off := base
+	off.Reorder = 0
+	off.CorpusDir = dir
+	off.Resume = true
+	offStats, err := Run(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offStats.Resumed != 0 {
+		t.Fatalf("a reorder-off campaign reused %d reorder-on records", offStats.Resumed)
+	}
+}
+
 // TestResumeMatchesUninterrupted is the acceptance gate for the corpus: a
 // campaign killed partway and resumed must complete with the same totals
 // and bug groups as an uninterrupted run.

@@ -100,6 +100,15 @@ type WorkloadRecord struct {
 	States  int `json:"states"`
 	Checked int `json:"checked"`
 	Pruned  int `json:"pruned"`
+	// RStates, RChecked, RPruned, RBroken are the bounded-reordering sweep
+	// totals (zero, and omitted, when the campaign ran with Reorder off):
+	// reorder states constructed, recoveries run, verdicts reused from the
+	// prune cache, and states that neither mounted nor repaired. Additive
+	// fields: shards written before them load with zeros.
+	RStates  int `json:"rstates,omitempty"`
+	RChecked int `json:"rchecked,omitempty"`
+	RPruned  int `json:"rpruned,omitempty"`
+	RBroken  int `json:"rbroken,omitempty"`
 	// Skeleton and Workload carry what report grouping needs; recorded
 	// only for buggy workloads to keep shards small.
 	Skeleton string         `json:"skeleton,omitempty"`

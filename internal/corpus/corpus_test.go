@@ -15,6 +15,7 @@ func rec(seq int64, verdict string) *WorkloadRecord {
 	r := &WorkloadRecord{
 		Seq: seq, ID: "ace-x", Verdict: verdict,
 		States: 2, Checked: 1, Pruned: 1,
+		RStates: 7, RChecked: 4, RPruned: 3, RBroken: 1,
 	}
 	if verdict == VerdictBuggy {
 		r.Skeleton = "creat A; fsync A"
@@ -63,6 +64,9 @@ func TestShardRoundTrip(t *testing.T) {
 	}
 	if got.Reports[0].Findings[0].Path != "/foo" {
 		t.Fatalf("finding mangled: %+v", got.Reports[0])
+	}
+	if got.RStates != 7 || got.RChecked != 4 || got.RPruned != 3 || got.RBroken != 1 {
+		t.Fatalf("reorder totals mangled: %+v", got)
 	}
 }
 

@@ -117,21 +117,38 @@ func (r *Result) Primary() Finding {
 	return best
 }
 
+// severityOrder ranks consequences least- to most-severe. It must stay
+// exhaustive over the bugs registry (TestSeverityIsTotal): a consequence
+// missing here would otherwise silently rank below everything.
+var severityOrder = []bugs.Consequence{
+	bugs.WrongLinkCount, bugs.EmptySymlink, bugs.XattrInconsistent,
+	bugs.HoleNotPersisted, bugs.BlocksLost, bugs.WrongSize,
+	bugs.ResurrectedEntry, bugs.DataLoss, bugs.DirEntryMissing,
+	bugs.WrongLocation, bugs.CannotCreateFiles, bugs.UnremovableDir,
+	bugs.FileMissing, bugs.FileInBothLocations, bugs.RenameBothLost,
+	bugs.Unmountable,
+}
+
+var severityRank = func() map[bugs.Consequence]int {
+	m := make(map[bugs.Consequence]int, len(severityOrder))
+	for i, c := range severityOrder {
+		m[c] = i + 1
+	}
+	return m
+}()
+
+// severity is total: ConsequenceNone ranks below every real consequence, and
+// a consequence not yet placed in severityOrder ranks above everything —
+// new failure classes must surface as the primary finding, never be hidden
+// behind a known one.
 func severity(c bugs.Consequence) int {
-	order := []bugs.Consequence{
-		bugs.WrongLinkCount, bugs.EmptySymlink, bugs.XattrInconsistent,
-		bugs.HoleNotPersisted, bugs.BlocksLost, bugs.WrongSize,
-		bugs.ResurrectedEntry, bugs.DataLoss, bugs.DirEntryMissing,
-		bugs.WrongLocation, bugs.CannotCreateFiles, bugs.UnremovableDir,
-		bugs.FileMissing, bugs.FileInBothLocations, bugs.RenameBothLost,
-		bugs.Unmountable,
+	if c == bugs.ConsequenceNone {
+		return 0
 	}
-	for i, oc := range order {
-		if oc == c {
-			return i + 1
-		}
+	if r, ok := severityRank[c]; ok {
+		return r
 	}
-	return 0
+	return len(severityOrder) + 1
 }
 
 // ProfileWorkload runs the workload on a fresh file system over the

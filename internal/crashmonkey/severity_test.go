@@ -1,0 +1,52 @@
+package crashmonkey
+
+import (
+	"testing"
+
+	"b3/internal/bugs"
+)
+
+// TestSeverityIsTotal pins severity() against the bugs registry: every
+// classified consequence must rank strictly above ConsequenceNone and hold a
+// distinct rank, and a consequence the order list does not know yet must
+// rank above everything — a new failure class surfaces as the primary
+// finding instead of silently sorting last.
+func TestSeverityIsTotal(t *testing.T) {
+	if got := severity(bugs.ConsequenceNone); got != 0 {
+		t.Fatalf("severity(ConsequenceNone) = %d, want 0", got)
+	}
+	all := bugs.Consequences()
+	if len(all) == 0 {
+		t.Fatal("bugs registry lists no consequences")
+	}
+	seen := map[int]bugs.Consequence{}
+	for _, c := range all {
+		s := severity(c)
+		if s <= 0 {
+			t.Errorf("severity(%v) = %d: consequence missing from severityOrder", c, s)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("severity(%v) == severity(%v) == %d", c, prev, s)
+		}
+		seen[s] = c
+	}
+	if len(severityOrder) != len(all) {
+		t.Errorf("severityOrder lists %d consequences, registry has %d",
+			len(severityOrder), len(all))
+	}
+	// An unknown (future) consequence outranks every known one.
+	unknown := bugs.Consequence(250)
+	if s := severity(unknown); s <= severity(bugs.Unmountable) {
+		t.Fatalf("unknown consequence ranks %d, below known maximum %d",
+			s, severity(bugs.Unmountable))
+	}
+	// And Primary surfaces it over a known finding.
+	r := &Result{Findings: []Finding{
+		{Consequence: bugs.DataLoss},
+		{Consequence: unknown},
+	}}
+	if got := r.Primary().Consequence; got != unknown {
+		t.Fatalf("Primary() picked %v over the unknown consequence", got)
+	}
+}
