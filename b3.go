@@ -184,6 +184,11 @@ type Campaign struct {
 	// NoPrune disables representative crash-state pruning — the
 	// cross-check mode: identical bug verdicts, every state checked.
 	NoPrune bool
+	// ScratchStates constructs every crash state from scratch instead of
+	// through the incremental rolling replay cursor — the construction
+	// cross-check mode: identical fingerprints and verdicts, strictly more
+	// replayed writes.
+	ScratchStates bool
 	// PruneCap bounds each prune-cache tier in entries (0 = the default
 	// cap, negative = unbounded). Campaigns whose distinct-state count
 	// exceeds the cap evict LRU entries and transparently re-check them.
@@ -231,18 +236,19 @@ func (c Campaign) config() (campaign.Config, error) {
 		label = string(c.Profile)
 	}
 	cfg := campaign.Config{
-		FS:           c.FS,
-		Bounds:       bounds,
-		Workers:      c.Workers,
-		MaxWorkloads: c.MaxWorkloads,
-		SampleEvery:  c.SampleEvery,
-		FinalOnly:    c.FinalOnly,
-		Reorder:      c.Reorder,
-		NoPrune:      c.NoPrune,
-		PruneCap:     c.PruneCap,
-		CorpusDir:    c.CorpusDir,
-		ProfileLabel: label,
-		Resume:       c.Resume,
+		FS:            c.FS,
+		Bounds:        bounds,
+		Workers:       c.Workers,
+		MaxWorkloads:  c.MaxWorkloads,
+		SampleEvery:   c.SampleEvery,
+		FinalOnly:     c.FinalOnly,
+		Reorder:       c.Reorder,
+		NoPrune:       c.NoPrune,
+		ScratchStates: c.ScratchStates,
+		PruneCap:      c.PruneCap,
+		CorpusDir:     c.CorpusDir,
+		ProfileLabel:  label,
+		Resume:        c.Resume,
 	}
 	if c.DedupKnown {
 		cfg.KnownDBFor = KnownBugDB

@@ -11,6 +11,8 @@
 //	b3 -profile seq-2 -no-prune             # cross-check: no state pruning
 //	b3 -profile seq-1 -fs all -reorder 1    # + bounded-reordering crash states
 //	b3 -profile seq-3-data -prune-cap 65536 # bound the verdict cache
+//	b3 -profile seq-2 -scratch-states       # cross-check: from-scratch states
+//	b3 -profile seq-1 -fs all -v            # + block-IO metering per row
 //	b3 -reproduce                           # appendix: 24 known bugs
 package main
 
@@ -38,6 +40,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		dedup     = flag.Bool("dedup-known", true, "suppress bug groups matching the known-bug database (§5.3)")
 		noPrune   = flag.Bool("no-prune", false, "disable representative crash-state pruning (cross-check mode: every state checked)")
+		scratch   = flag.Bool("scratch-states", false, "construct every crash state from scratch instead of via the rolling replay cursor (cross-check mode)")
+		verbose   = flag.Bool("v", false, "verbose: print per-FS block-IO metering (writes replayed, blocks read, bytes allocated)")
 		pruneCap  = flag.Int("prune-cap", 0, "bound each prune-cache tier to this many entries (0 = default cap, negative = unbounded)")
 		finalOnly = flag.Bool("final-only", false, "test only the final persistence point of each workload (the paper's §5.3 strategy)")
 		reorder   = flag.Int("reorder", 0, "also sweep bounded-reordering crash states, dropping up to k in-flight epoch writes (0 = off; 1 = prefixes + drop-one)")
@@ -58,6 +62,7 @@ func main() {
 			workers: *workers, sample: *sample,
 			noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
 			reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
+			scratch: *scratch, verbose: *verbose,
 		})
 	case *reproduce:
 		runReproduce()
@@ -67,6 +72,7 @@ func main() {
 				workers: *workers, sample: *sample,
 				noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
 				reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
+				scratch: *scratch, verbose: *verbose,
 			},
 			profile: *profile, fs: *fsName, maxW: *maxW, dedup: *dedup,
 		})
@@ -109,6 +115,18 @@ type campaignOpts struct {
 	reorder            int
 	corpusDir          string
 	resume             bool
+	scratch            bool
+	verbose            bool
+}
+
+// printBlockIO emits the -v block-IO metering lines for each campaign row.
+func printBlockIO(verbose bool, rows ...*b3.CampaignStats) {
+	if !verbose {
+		return
+	}
+	for _, s := range rows {
+		fmt.Println(s.BlockIOSummary())
+	}
 }
 
 // resolveFS expands the -fs flag: one name, a comma list, or "all".
@@ -150,7 +168,7 @@ func runFindNewBugs(o campaignOpts) {
 				FS: fs, Profile: p, Workers: o.workers,
 				SampleEvery: o.sample, DedupKnown: true,
 				NoPrune: o.noPrune, PruneCap: o.pruneCap, FinalOnly: o.finalOnly,
-				Reorder: o.reorder,
+				Reorder: o.reorder, ScratchStates: o.scratch,
 				// Each (fs, profile) pair gets its own corpus shard.
 				CorpusDir: o.corpusDir, Resume: o.resume,
 			})
@@ -158,6 +176,7 @@ func runFindNewBugs(o campaignOpts) {
 				fatal(err)
 			}
 			fmt.Printf("\n--- %s %s ---\n%s\n", fsName, p, stats.Summary())
+			printBlockIO(o.verbose, stats)
 			attributeBugs(fs, stats, found)
 			allStats = append(allStats, stats)
 		}
@@ -276,7 +295,8 @@ func runProfile(r profileRun) {
 		Profile: b3.ProfileName(r.profile), Workers: r.workers,
 		SampleEvery: r.sample, MaxWorkloads: r.maxW, DedupKnown: r.dedup,
 		NoPrune: r.noPrune, PruneCap: r.pruneCap, FinalOnly: r.finalOnly,
-		Reorder: r.reorder, CorpusDir: r.corpusDir, Resume: r.resume,
+		Reorder: r.reorder, ScratchStates: r.scratch,
+		CorpusDir: r.corpusDir, Resume: r.resume,
 	}
 	var rows []*b3.CampaignStats
 	if len(fss) == 1 {
@@ -295,6 +315,7 @@ func runProfile(r profileRun) {
 		fmt.Print(matrix.Summary())
 		rows = matrix.PerFS
 	}
+	printBlockIO(r.verbose, rows...)
 	exitOnBrokenReorder(rows)
 }
 

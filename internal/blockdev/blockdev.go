@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // BlockSize is the device block size in bytes (matching a 4 KiB page).
@@ -40,6 +42,69 @@ type Device interface {
 	NumBlocks() int64
 }
 
+// BlockViewer is the optional zero-copy read extension: ReadBlockView
+// returns a borrowed view of the block's contents that must not be modified
+// and is only valid until the next write to the device. Devices that cannot
+// lend views simply do not implement it; callers go through ReadView.
+type BlockViewer interface {
+	ReadBlockView(n int64) ([]byte, error)
+}
+
+// zeroBlock is the shared all-zero view lent for never-written blocks.
+var zeroBlock = make([]byte, BlockSize)
+
+// ReadView reads block n without copying when dev lends views, falling back
+// to the allocating ReadBlock otherwise. The returned slice must be treated
+// as read-only and not retained across writes to dev.
+func ReadView(dev Device, n int64) ([]byte, error) {
+	if v, ok := dev.(BlockViewer); ok {
+		return v.ReadBlockView(n)
+	}
+	return dev.ReadBlock(n)
+}
+
+// ReadInto reads block n into buf (len >= BlockSize) without allocating.
+func ReadInto(dev Device, n int64, buf []byte) error {
+	v, err := ReadView(dev, n)
+	if err != nil {
+		return err
+	}
+	copy(buf[:BlockSize], v)
+	return nil
+}
+
+// blockPool recycles 4 KiB overlay buffers between short-lived crash-state
+// forks: a bounded-reordering sweep constructs thousands of snapshots whose
+// overlays die with the state, so pooling turns the per-write allocation
+// into a pointer swap (the §6.5 allocation profile).
+var blockPool = sync.Pool{New: func() any { return make([]byte, BlockSize) }}
+
+func poolGet() []byte { return blockPool.Get().([]byte) }
+
+// BlockMeter counts the block-level IO a harness issues: the blockdev
+// analogue of filesys.Meter. Attach one to the snapshots and replay cursors
+// of a run (SetMeter) and replay-cost regressions become visible in -v
+// campaign output and CI logs.
+type BlockMeter struct {
+	// BlocksReplayed counts writes applied while constructing crash states
+	// (replay cursors and reorder enumeration).
+	BlocksReplayed atomic.Int64
+	// BlocksRead counts block reads served by metered devices, whether
+	// copying or borrowed.
+	BlocksRead atomic.Int64
+	// BytesAllocated totals the fresh buffer bytes metered devices had to
+	// allocate (copying reads plus first-touch overlay blocks that missed
+	// the pool); pooled and borrowed IO does not count.
+	BytesAllocated atomic.Int64
+}
+
+// Reset zeroes every counter.
+func (m *BlockMeter) Reset() {
+	m.BlocksReplayed.Store(0)
+	m.BlocksRead.Store(0)
+	m.BytesAllocated.Store(0)
+}
+
 // MemDisk is a dense in-memory block device.
 type MemDisk struct {
 	blocks [][]byte
@@ -62,6 +127,18 @@ func (d *MemDisk) ReadBlock(n int64) ([]byte, error) {
 	return out, nil
 }
 
+// ReadBlockView implements BlockViewer: the returned slice aliases the
+// device's storage (or the shared zero block) and must not be modified.
+func (d *MemDisk) ReadBlockView(n int64) ([]byte, error) {
+	if n < 0 || n >= int64(len(d.blocks)) {
+		return nil, fmt.Errorf("%w: read block %d of %d", ErrOutOfRange, n, len(d.blocks))
+	}
+	if b := d.blocks[n]; b != nil {
+		return b, nil
+	}
+	return zeroBlock, nil
+}
+
 // WriteBlock implements Device.
 func (d *MemDisk) WriteBlock(n int64, data []byte) error {
 	if n < 0 || n >= int64(len(d.blocks)) {
@@ -70,9 +147,15 @@ func (d *MemDisk) WriteBlock(n int64, data []byte) error {
 	if len(data) > BlockSize {
 		return fmt.Errorf("blockdev: write of %d bytes exceeds block size", len(data))
 	}
-	b := make([]byte, BlockSize)
+	b := d.blocks[n]
+	if b == nil {
+		b = make([]byte, BlockSize)
+		d.blocks[n] = b
+	}
+	// Copy-then-clear-tail stays correct when data aliases b itself (a
+	// borrowed ReadBlockView of this very block written back).
 	copy(b, data)
-	d.blocks[n] = b
+	clear(b[len(data):])
 	return nil
 }
 
@@ -82,6 +165,19 @@ func (d *MemDisk) Flush() error { return nil }
 // NumBlocks implements Device.
 func (d *MemDisk) NumBlocks() int64 { return int64(len(d.blocks)) }
 
+// contributor is implemented by snapshots that track per-block fingerprint
+// contributions, letting a tracked fork over them seed and adjust its own
+// fingerprint without scanning.
+type contributor interface {
+	// contribution returns the fingerprint contribution of block n in the
+	// device's dirty set (searching the whole fork chain), and whether the
+	// block is dirty at all.
+	contribution(n int64) (uint64, bool)
+	// Fingerprint is the device's content hash relative to the chain's
+	// pristine bottom device.
+	Fingerprint() uint64
+}
+
 // Snapshot is a copy-on-write overlay over a base device. It provides the
 // fast writable snapshots CrashMonkey uses to reset between crash states:
 // resetting simply drops the modified blocks (§5.1, "since the snapshots are
@@ -90,31 +186,149 @@ func (d *MemDisk) NumBlocks() int64 { return int64(len(d.blocks)) }
 type Snapshot struct {
 	base    Device
 	overlay map[int64][]byte
+
+	// contrib, when non-nil, marks a tracked snapshot: fp is the
+	// incremental fingerprint (relative to the chain's pristine bottom) and
+	// contrib holds this overlay's per-block contributions. parent is the
+	// base when it, too, tracks contributions (fork chains).
+	contrib map[int64]uint64
+	fp      uint64
+	parent  contributor
+
+	// pooled marks overlay buffers as pool-recyclable via Release.
+	pooled bool
+	meter  *BlockMeter
 }
 
-// NewSnapshot returns a writable COW view of base.
+// NewSnapshot returns a writable COW view of base. Its Fingerprint is
+// computed by scanning the overlay on demand (the from-scratch path).
 func NewSnapshot(base Device) *Snapshot {
 	return &Snapshot{base: base, overlay: make(map[int64][]byte)}
 }
 
-// ReadBlock implements Device, preferring overlay blocks.
+// NewTrackedSnapshot returns a COW view of base that maintains its content
+// fingerprint incrementally: O(1) per write, O(1) to read. When base is
+// itself a tracked snapshot the fork seeds from the parent's fingerprint,
+// so the fork's Fingerprint stays relative to the chain's pristine bottom
+// device — a crash-state fork over a rolling replay base fingerprints
+// identically to a from-scratch replay onto the bottom device. Overlay
+// buffers come from the shared pool; call Release when the snapshot dies.
+func NewTrackedSnapshot(base Device) *Snapshot {
+	s := &Snapshot{
+		base:    base,
+		overlay: make(map[int64][]byte),
+		contrib: make(map[int64]uint64),
+		pooled:  true,
+	}
+	if p, ok := base.(contributor); ok {
+		s.parent = p
+		s.fp = p.Fingerprint()
+	}
+	if m, ok := base.(*Snapshot); ok {
+		s.meter = m.meter
+	}
+	return s
+}
+
+// SetMeter attaches a BlockMeter; forks created over this snapshot inherit
+// it.
+func (s *Snapshot) SetMeter(m *BlockMeter) { s.meter = m }
+
+// contribution implements contributor. Untracked snapshots compute the
+// contribution from the overlay on demand, so a tracked fork seeded over an
+// untracked parent still adjusts overwrites correctly.
+func (s *Snapshot) contribution(n int64) (uint64, bool) {
+	if c, ok := s.contrib[n]; ok {
+		return c, true
+	}
+	if s.contrib == nil {
+		if b, ok := s.overlay[n]; ok {
+			return BlockContribution(n, b), true
+		}
+	}
+	if s.parent != nil {
+		return s.parent.contribution(n)
+	}
+	return 0, false
+}
+
+// ReadBlock implements Device, preferring overlay blocks. Each external
+// read is metered once, no matter how deep the fork chain it traverses.
 func (s *Snapshot) ReadBlock(n int64) ([]byte, error) {
+	if s.meter != nil {
+		s.meter.BlocksRead.Add(1)
+		s.meter.BytesAllocated.Add(BlockSize)
+	}
+	return s.readBlock(n)
+}
+
+func (s *Snapshot) readBlock(n int64) ([]byte, error) {
 	if b, ok := s.overlay[n]; ok {
 		out := make([]byte, BlockSize)
 		copy(out, b)
 		return out, nil
 	}
+	if p, ok := s.base.(*Snapshot); ok {
+		return p.readBlock(n)
+	}
 	return s.base.ReadBlock(n)
 }
 
-// WriteBlock implements Device, writing only to the overlay.
+// ReadBlockView implements BlockViewer: overlay blocks are lent directly,
+// clean blocks recurse into the base's view (falling back to a copying read
+// only if some device in the chain cannot lend).
+func (s *Snapshot) ReadBlockView(n int64) ([]byte, error) {
+	if s.meter != nil {
+		s.meter.BlocksRead.Add(1)
+	}
+	return s.readBlockView(n)
+}
+
+func (s *Snapshot) readBlockView(n int64) ([]byte, error) {
+	if b, ok := s.overlay[n]; ok {
+		return b, nil
+	}
+	if p, ok := s.base.(*Snapshot); ok {
+		return p.readBlockView(n)
+	}
+	return ReadView(s.base, n)
+}
+
+// WriteBlock implements Device, writing only to the overlay. Overwrites
+// reuse the existing overlay buffer, and tracked snapshots fold the write
+// into the incremental fingerprint.
 func (s *Snapshot) WriteBlock(n int64, data []byte) error {
 	if n < 0 || n >= s.base.NumBlocks() {
 		return fmt.Errorf("%w: write block %d", ErrOutOfRange, n)
 	}
-	b := make([]byte, BlockSize)
+	if len(data) > BlockSize {
+		return fmt.Errorf("blockdev: write of %d bytes exceeds block size", len(data))
+	}
+	b, ok := s.overlay[n]
+	if !ok {
+		if s.pooled {
+			b = poolGet()
+		} else {
+			b = make([]byte, BlockSize)
+			if s.meter != nil {
+				s.meter.BytesAllocated.Add(BlockSize)
+			}
+		}
+		s.overlay[n] = b
+	}
+	// Copy-then-clear-tail: correct when data aliases b (a borrowed view of
+	// this block written back), and pooled buffers get their stale tail
+	// cleared by the same stroke.
 	copy(b, data)
-	s.overlay[n] = b
+	clear(b[len(data):])
+	if s.contrib != nil {
+		if old, dirty := s.contribution(n); dirty {
+			s.fp ^= old
+		}
+		c := BlockContribution(n, b)
+		s.fp ^= c
+		s.contrib[n] = c
+	}
 	return nil
 }
 
@@ -125,7 +339,33 @@ func (s *Snapshot) Flush() error { return nil }
 func (s *Snapshot) NumBlocks() int64 { return s.base.NumBlocks() }
 
 // Reset drops every modified block, returning the view to the base image.
-func (s *Snapshot) Reset() { s.overlay = make(map[int64][]byte) }
+// Tracked snapshots stay tracked: the fingerprint re-seeds from the parent.
+func (s *Snapshot) Reset() {
+	tracked := s.contrib != nil
+	s.Release()
+	s.overlay = make(map[int64][]byte)
+	if tracked {
+		s.contrib = make(map[int64]uint64)
+		s.fp = 0
+		if s.parent != nil {
+			s.fp = s.parent.Fingerprint()
+		}
+	}
+}
+
+// Release returns pooled overlay buffers to the shared pool and empties the
+// overlay. The snapshot must not be used afterwards (crash-state forks call
+// it once the verdict is recorded); snapshots with unpooled buffers only
+// drop their references.
+func (s *Snapshot) Release() {
+	if s.pooled {
+		for _, b := range s.overlay {
+			blockPool.Put(b)
+		}
+	}
+	s.overlay = nil
+	s.contrib = nil
+}
 
 // DirtyBlocks returns the overlay block numbers in ascending order.
 func (s *Snapshot) DirtyBlocks() []int64 {

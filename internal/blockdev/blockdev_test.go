@@ -190,7 +190,7 @@ func TestReplayToCheckpoint(t *testing.T) {
 		2: {"two", "e"},
 	} {
 		crash := NewSnapshot(base)
-		if err := ReplayToCheckpoint(crash, r.Log(), cp); err != nil {
+		if _, err := ReplayToCheckpoint(crash, r.Log(), cp); err != nil {
 			t.Fatalf("cp %d: %v", cp, err)
 		}
 		b0, _ := crash.ReadBlock(0)
@@ -207,10 +207,10 @@ func TestReplayToCheckpoint(t *testing.T) {
 		}
 	}
 
-	if err := ReplayToCheckpoint(NewSnapshot(base), r.Log(), 3); err == nil {
+	if _, err := ReplayToCheckpoint(NewSnapshot(base), r.Log(), 3); err == nil {
 		t.Fatal("expected error for missing checkpoint")
 	}
-	if err := ReplayToCheckpoint(NewSnapshot(base), r.Log(), 0); err == nil {
+	if _, err := ReplayToCheckpoint(NewSnapshot(base), r.Log(), 0); err == nil {
 		t.Fatal("expected error for checkpoint 0")
 	}
 }
@@ -302,7 +302,7 @@ func TestQuickReplayMatchesLiveState(t *testing.T) {
 		}
 		for cp := 1; cp <= cpCount; cp++ {
 			crash := NewSnapshot(base)
-			if err := ReplayToCheckpoint(crash, r.Log(), cp); err != nil {
+			if _, err := ReplayToCheckpoint(crash, r.Log(), cp); err != nil {
 				return false
 			}
 			for i := int64(0); i < 16; i++ {

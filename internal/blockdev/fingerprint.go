@@ -9,6 +9,15 @@ import "encoding/binary"
 // verdict cache on a content hash of the state instead of re-running the
 // oracle. A crash state is a COW overlay over a pristine base image, so its
 // identity is exactly the set of dirty blocks and their contents.
+//
+// The fingerprint is *incremental*: it is the XOR of one avalanche-mixed
+// contribution per dirty block, where a block's contribution depends only on
+// its number and its final contents. XOR makes the combination
+// order-independent (no per-state sort of the dirty set) and removable (an
+// overwrite XORs the old contribution out and the new one in), so a tracked
+// snapshot maintains its fingerprint in O(1) per write and reads it in O(1),
+// instead of the O(dirty · log dirty) sort-and-rehash of the whole overlay
+// that used to run for every constructed crash state.
 
 // FNV-1a parameters, exported so fingerprint composers elsewhere (the
 // crashmonkey oracle hasher) stay bit-compatible with HashBytes.
@@ -30,15 +39,41 @@ func HashBytes(h uint64, b []byte) uint64 {
 	return h
 }
 
-// Fingerprint returns a content hash of the overlay: the dirty block
-// numbers and their data, iterated in ascending block order so the hash is
-// independent of write order. Two snapshots of the same base with equal
-// fingerprints hold byte-identical device contents.
-func (s *Snapshot) Fingerprint() uint64 {
-	h := FNVOffset
-	for _, n := range s.DirtyBlocks() {
-		h = (h ^ uint64(n)) * FNVPrime
-		h = HashBytes(h, s.overlay[n])
-	}
+// mix64 is the splitmix64 finalizer. Per-block contributions are combined
+// by XOR, which cancels structured bit patterns; avalanching each
+// contribution first makes the combined hash behave like a random function
+// of the dirty set.
+func mix64(h uint64) uint64 {
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
 	return h
+}
+
+// BlockContribution returns the fingerprint contribution of one dirty block:
+// a mixed hash of the block number and its full (zero-padded) contents. A
+// snapshot's fingerprint is the XOR of the contributions of its dirty set.
+func BlockContribution(n int64, data []byte) uint64 {
+	h := (FNVOffset ^ uint64(n)) * FNVPrime
+	h = HashBytes(h, data)
+	return mix64(h)
+}
+
+// Fingerprint returns the content hash of the overlay: the XOR of each dirty
+// block's BlockContribution. Two snapshots of the same base with equal
+// fingerprints hold byte-identical device contents. Tracked snapshots
+// (NewTrackedSnapshot) answer in O(1) from the incrementally maintained
+// value; untracked snapshots scan their overlay — the from-scratch path the
+// incremental one is cross-checked against (docs/TESTING.md).
+func (s *Snapshot) Fingerprint() uint64 {
+	if s.contrib != nil {
+		return s.fp
+	}
+	var fp uint64
+	for n, b := range s.overlay {
+		fp ^= BlockContribution(n, b)
+	}
+	return fp
 }

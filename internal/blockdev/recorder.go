@@ -47,6 +47,9 @@ func NewRecorder(under Device) *Recorder {
 // function of writes only).
 func (r *Recorder) ReadBlock(n int64) ([]byte, error) { return r.under.ReadBlock(n) }
 
+// ReadBlockView implements BlockViewer by borrowing from the wrapped device.
+func (r *Recorder) ReadBlockView(n int64) ([]byte, error) { return ReadView(r.under, n) }
+
 // WriteBlock implements Device, recording the write.
 func (r *Recorder) WriteBlock(n int64, data []byte) error {
 	if err := r.under.WriteBlock(n, data); err != nil {
@@ -99,26 +102,31 @@ func (r *Recorder) WritesRecorded() int {
 }
 
 // ReplayToCheckpoint applies every recorded write with sequence number up to
-// and including checkpoint cp onto dst. This constructs the paper's crash
-// state: "the state of the storage just after the persistence-related call
-// completed on the storage device".
-func ReplayToCheckpoint(dst Device, log []Record, cp int) error {
+// and including checkpoint cp onto dst, returning how many writes it
+// replayed. This constructs the paper's crash state from scratch: "the state
+// of the storage just after the persistence-related call completed on the
+// storage device". Sweeps prefer a ReplayCursor, which replays each write
+// once across a whole ascending sweep; this path remains the cross-check
+// reference the incremental construction is verified against.
+func ReplayToCheckpoint(dst Device, log []Record, cp int) (int64, error) {
 	if cp < 1 {
-		return fmt.Errorf("blockdev: invalid checkpoint %d", cp)
+		return 0, fmt.Errorf("blockdev: invalid checkpoint %d", cp)
 	}
+	var applied int64
 	for _, rec := range log {
 		switch rec.Kind {
 		case RecWrite:
 			if err := dst.WriteBlock(rec.Block, rec.Data); err != nil {
-				return fmt.Errorf("blockdev: replay write seq %d: %w", rec.Seq, err)
+				return applied, fmt.Errorf("blockdev: replay write seq %d: %w", rec.Seq, err)
 			}
+			applied++
 		case RecCheckpoint:
 			if rec.Checkpoint == cp {
-				return nil
+				return applied, nil
 			}
 		}
 	}
-	return fmt.Errorf("blockdev: checkpoint %d not found in IO log", cp)
+	return applied, fmt.Errorf("blockdev: checkpoint %d not found in IO log", cp)
 }
 
 // ReplayPrefix applies the first n write records onto dst, ignoring

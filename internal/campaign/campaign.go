@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"b3/internal/ace"
+	"b3/internal/blockdev"
 	"b3/internal/bugs"
 	"b3/internal/corpus"
 	"b3/internal/crashmonkey"
@@ -69,6 +70,13 @@ type Config struct {
 	// state is checked against the oracle. This is the cross-check mode —
 	// it must produce the identical set of bug verdicts, only slower.
 	NoPrune bool
+	// ScratchStates constructs every crash state from scratch (fresh
+	// snapshot + full log-prefix replay) instead of through the rolling
+	// replay cursor. Like NoPrune this is a cross-check mode: identical
+	// fingerprints and verdicts, strictly more replayed writes. Excluded
+	// from the config fingerprint for the same reason prune mode is —
+	// construction strategy never changes verdicts.
+	ScratchStates bool
 	// PruneCap bounds each prune-cache tier (entries). 0 uses
 	// crashmonkey.DefaultPruneCap; negative means unbounded. Eviction is
 	// verdict-preserving: an evicted state that recurs is re-checked.
@@ -145,6 +153,18 @@ type Stats struct {
 	ReorderPruned  int64
 	ReorderBroken  int64
 
+	// ReplayedWrites counts the recorded writes replayed to construct
+	// every crash state of the campaign (checkpoint sweeps plus reorder
+	// sweeps, resumed records folded in). ReplayedWrites/states is the
+	// construction cost the incremental cursor engine minimises.
+	ReplayedWrites int64
+	// BlocksRead and BytesAllocated are the live BlockMeter counters:
+	// block reads served while mounting/checking states, and buffer bytes
+	// the block layer had to allocate (pooled and borrowed IO is free).
+	// Like the duration aggregates they cover live workloads only.
+	BlocksRead     int64
+	BytesAllocated int64
+
 	// Resumed counts workloads whose verdicts were folded in from the
 	// corpus shard instead of being re-tested; CorpusPath is the shard.
 	Resumed    int64
@@ -189,6 +209,24 @@ func (s *Stats) PruneRate() float64 {
 	return float64(s.StatesPruned) / float64(s.StatesTotal)
 }
 
+// ReplayPerState reports the mean number of writes replayed to construct one
+// crash state (checkpoint and reorder states combined) — the construction
+// cost the incremental cursor engine minimises.
+func (s *Stats) ReplayPerState() float64 {
+	states := s.StatesTotal + s.ReorderStates
+	if states == 0 {
+		return 0
+	}
+	return float64(s.ReplayedWrites) / float64(states)
+}
+
+// BlockIOSummary renders the block-layer IO counters (the -v campaign line
+// CI logs watch for replay-cost regressions).
+func (s *Stats) BlockIOSummary() string {
+	return fmt.Sprintf("block io on %s: %d writes replayed (%.1f/state), %d blocks read, %d KiB allocated",
+		s.FSName, s.ReplayedWrites, s.ReplayPerState(), s.BlocksRead, s.BytesAllocated/1024)
+}
+
 // AvgDirtyBytes reports the mean COW overlay footprint per workload (§6.5).
 func (s *Stats) AvgDirtyBytes() int64 {
 	if s.DirtySample == 0 {
@@ -205,6 +243,7 @@ type counters struct {
 	prunedDisk, prunedTree        atomic.Int64
 	reorderStates, reorderChecked atomic.Int64
 	reorderPruned, reorderBroken  atomic.Int64
+	replayedWrites                atomic.Int64
 	profNS, replayNS, checkNS     atomic.Int64
 	dirtyTot, dirtyN, dirtyMax    atomic.Int64
 }
@@ -221,6 +260,7 @@ type fsRun struct {
 	cache *crashmonkey.PruneCache
 	shard *corpus.Shard
 	done  map[int64]*corpus.WorkloadRecord
+	meter blockdev.BlockMeter
 
 	cnt     counters
 	mu      sync.Mutex
@@ -263,6 +303,7 @@ func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
 	r.cnt.statesTotal.Add(int64(rec.States))
 	r.cnt.reorderStates.Add(int64(rec.RStates))
 	r.cnt.reorderBroken.Add(int64(rec.RBroken))
+	r.cnt.replayedWrites.Add(rec.Replayed)
 	if r.cfg.NoPrune {
 		// The shard may have been written with pruning on (prune mode is
 		// excluded from the config fingerprint on purpose). A no-prune run
@@ -416,6 +457,9 @@ func (r *fsRun) finish(start time.Time) error {
 	stats.ReorderChecked = cnt.reorderChecked.Load()
 	stats.ReorderPruned = cnt.reorderPruned.Load()
 	stats.ReorderBroken = cnt.reorderBroken.Load()
+	stats.ReplayedWrites = cnt.replayedWrites.Load()
+	stats.BlocksRead = r.meter.BlocksRead.Load()
+	stats.BytesAllocated = r.meter.BytesAllocated.Load()
 	if r.cache != nil {
 		cs := r.cache.Stats()
 		stats.DistinctStates = cs.DiskStates
@@ -536,6 +580,8 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 						FS:              j.run.cfg.FS,
 						SkipWriteChecks: j.run.cfg.SkipWriteChecks,
 						Prune:           j.run.cache,
+						ScratchStates:   j.run.cfg.ScratchStates,
+						Meter:           &j.run.meter,
 					}
 					monkeys[j.run] = mk
 				}
@@ -634,6 +680,8 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 			rec.Checked++
 			cnt.statesChecked.Add(1)
 		}
+		rec.Replayed += res.ReplayedWrites
+		cnt.replayedWrites.Add(res.ReplayedWrites)
 		cnt.replayNS.Add(int64(res.ReplayDur))
 		cnt.checkNS.Add(int64(res.CheckDur))
 		if res.Buggy() {
@@ -670,10 +718,12 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 			rec.RChecked = rr.Checked
 			rec.RPruned = rr.Pruned
 			rec.RBroken = len(rr.Broken)
+			rec.Replayed += rr.ReplayedWrites
 			cnt.reorderStates.Add(int64(rr.States))
 			cnt.reorderChecked.Add(int64(rr.Checked))
 			cnt.reorderPruned.Add(int64(rr.Pruned))
 			cnt.reorderBroken.Add(int64(len(rr.Broken)))
+			cnt.replayedWrites.Add(rr.ReplayedWrites)
 		}
 	}
 	if rec.Verdict == corpus.VerdictBuggy {
@@ -708,6 +758,10 @@ func (s *Stats) Summary() string {
 		} else {
 			fmt.Fprintf(&sb, " (%.0f%% of oracle checks skipped)", 100*s.PruneRate())
 		}
+	}
+	if s.ReplayedWrites > 0 {
+		fmt.Fprintf(&sb, "; %d writes replayed (%.1f/state)",
+			s.ReplayedWrites, s.ReplayPerState())
 	}
 	if s.PruneCap > 0 {
 		fmt.Fprintf(&sb, "\nprune cache: %d distinct states held (cap %d/tier)",
@@ -764,7 +818,7 @@ func (m *Matrix) ByFS(name string) *Stats {
 // with the headline campaign counters.
 func (m *Matrix) Table() string {
 	t := report.NewTable("file system", "generated", "tested", "failing",
-		"groups", "new", "states", "pruned", "evicted", "reorder", "r-broken")
+		"groups", "new", "states", "pruned", "evicted", "rw/state", "reorder", "r-broken")
 	for _, s := range m.PerFS {
 		t.AddRow(
 			s.FSName,
@@ -776,6 +830,7 @@ func (m *Matrix) Table() string {
 			fmt.Sprintf("%d", s.StatesTotal),
 			fmt.Sprintf("%.0f%%", 100*s.PruneRate()),
 			fmt.Sprintf("%d", s.DiskEvictions+s.TreeEvictions),
+			fmt.Sprintf("%.1f", s.ReplayPerState()),
 			fmt.Sprintf("%d", s.ReorderStates),
 			fmt.Sprintf("%d", s.ReorderBroken),
 		)

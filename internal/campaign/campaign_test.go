@@ -186,6 +186,60 @@ func assertSameGroups(t *testing.T, a, b *Stats) {
 	}
 }
 
+// TestScratchStatesCrossCheck is the campaign-level acceptance gate for the
+// incremental crash-state engine: the default (rolling-cursor) construction
+// and the from-scratch cross-check mode must agree on every verdict and bug
+// group, state for state, while the incremental engine replays strictly
+// fewer writes.
+func TestScratchStatesCrossCheck(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpRename),
+		SampleEvery:  3,
+		MaxWorkloads: 4000,
+		Reorder:      1,
+	}
+	inc, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratchCfg := cfg
+	scratchCfg.ScratchStates = true
+	scratch, err := Run(scratchCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if inc.StatesTotal != scratch.StatesTotal || inc.ReorderStates != scratch.ReorderStates {
+		t.Fatalf("modes constructed different state counts: %d/%d vs %d/%d",
+			inc.StatesTotal, inc.ReorderStates, scratch.StatesTotal, scratch.ReorderStates)
+	}
+	// Identical fingerprints imply an identical prune split, not just
+	// identical verdicts: any divergence in the incremental hashes would
+	// surface here as a changed checked/pruned ratio.
+	if inc.StatesChecked != scratch.StatesChecked || inc.StatesPruned != scratch.StatesPruned {
+		t.Fatalf("prune split diverged: %d/%d vs %d/%d — incremental fingerprints differ from scratch",
+			inc.StatesChecked, inc.StatesPruned, scratch.StatesChecked, scratch.StatesPruned)
+	}
+	if inc.Failed != scratch.Failed || inc.ReorderBroken != scratch.ReorderBroken {
+		t.Fatalf("verdicts diverged: %d/%d failing vs %d/%d",
+			inc.Failed, inc.ReorderBroken, scratch.Failed, scratch.ReorderBroken)
+	}
+	assertSameGroups(t, inc, scratch)
+	if inc.ReplayedWrites >= scratch.ReplayedWrites {
+		t.Fatalf("incremental engine replayed %d writes, scratch %d — no savings",
+			inc.ReplayedWrites, scratch.ReplayedWrites)
+	}
+	t.Logf("replayed %d writes incrementally vs %d from scratch (%.1fx) over %d states",
+		inc.ReplayedWrites, scratch.ReplayedWrites,
+		float64(scratch.ReplayedWrites)/float64(inc.ReplayedWrites),
+		inc.StatesTotal+inc.ReorderStates)
+}
+
 // TestReorderCampaignCrossCheck is the acceptance gate for the campaign
 // reorder mode: a pruned k=1 sweep constructs the same reorder states as
 // the unpruned cross-check with identical broken verdicts while running

@@ -109,6 +109,12 @@ type WorkloadRecord struct {
 	RChecked int `json:"rchecked,omitempty"`
 	RPruned  int `json:"rpruned,omitempty"`
 	RBroken  int `json:"rbroken,omitempty"`
+	// Replayed is the number of recorded writes replayed to construct the
+	// workload's crash states (checkpoint sweep plus reorder sweep). It is
+	// a deterministic function of the workload and the construction engine;
+	// resume folds it into the campaign's replay-cost accounting. Additive
+	// field: shards written before it load with zero.
+	Replayed int64 `json:"replayed,omitempty"`
 	// Skeleton and Workload carry what report grouping needs; recorded
 	// only for buggy workloads to keep shards small.
 	Skeleton string         `json:"skeleton,omitempty"`

@@ -36,6 +36,16 @@ type Monkey struct {
 	// The cache may be shared between Monkeys driving the same file-system
 	// configuration (see prune.go).
 	Prune *PruneCache
+	// ScratchStates restores the from-scratch crash-state construction
+	// path: a fresh snapshot plus a full log-prefix replay (and an
+	// overlay-scan fingerprint) per state, instead of the rolling
+	// ReplayCursor. It is the cross-check mode for the incremental engine —
+	// identical fingerprints and verdicts, strictly more replayed writes
+	// (docs/TESTING.md).
+	ScratchStates bool
+	// Meter, when non-nil, counts block-level construction and read IO
+	// (writes replayed, blocks read, buffer bytes allocated).
+	Meter *blockdev.BlockMeter
 
 	// salt caches pruneSalt (constant per Monkey configuration).
 	saltOnce sync.Once
@@ -53,6 +63,49 @@ type Profile struct {
 	ProfileDur time.Duration
 	// DirtyBytes is the COW overlay footprint after the workload (§6.5).
 	DirtyBytes int64
+
+	// cursor is the rolling replay cursor the incremental construction
+	// path advances through the log; created on first use, guarded by
+	// cursorMu. TestCheckpoint calls on one Profile must not run
+	// concurrently in the default incremental mode: forks read through the
+	// rolling snapshot, which a concurrent seek would be mutating. Every
+	// caller (Run, RunAll, the campaign workers) tests a profile from a
+	// single goroutine.
+	cursorMu sync.Mutex
+	cursor   *blockdev.ReplayCursor
+}
+
+// state constructs the crash state for checkpoint cp: in the default
+// incremental mode it advances the rolling cursor and hands out a COW fork
+// (recovery writes land in the fork, never the rolling base); in scratch
+// mode it replays the whole log prefix onto a fresh snapshot. Returns the
+// state device and the number of writes replayed to build it.
+func (p *Profile) state(cp int, scratch bool, meter *blockdev.BlockMeter) (*blockdev.Snapshot, int64, error) {
+	if scratch {
+		crash := blockdev.NewSnapshot(p.base)
+		// Meter the scratch engine too, or the -v cross-check comparison
+		// would show zero read/alloc traffic against the incremental rows.
+		crash.SetMeter(meter)
+		n, err := blockdev.ReplayToCheckpoint(crash, p.rec.Log(), cp)
+		if err != nil {
+			return nil, n, err
+		}
+		if meter != nil {
+			meter.BlocksReplayed.Add(n)
+		}
+		return crash, n, nil
+	}
+	p.cursorMu.Lock()
+	defer p.cursorMu.Unlock()
+	if p.cursor == nil {
+		p.cursor = blockdev.NewReplayCursor(p.base, p.rec.Log())
+		p.cursor.SetMeter(meter)
+	}
+	n, err := p.cursor.SeekCheckpoint(cp)
+	if err != nil {
+		return nil, n, err
+	}
+	return p.cursor.Fork(), n, nil
 }
 
 // Checkpoints reports the number of persistence points recorded.
@@ -90,6 +143,10 @@ type Result struct {
 	Findings     []Finding
 	ReplayDur    time.Duration
 	CheckDur     time.Duration
+	// ReplayedWrites is the number of recorded writes replayed to construct
+	// this crash state. The incremental cursor replays only the delta since
+	// the previous checkpoint; the scratch path replays the whole prefix.
+	ReplayedWrites int64
 	// StateHash is the dirty-block fingerprint of the crash state (set
 	// only when pruning is enabled).
 	StateHash uint64
@@ -199,10 +256,15 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 	res := &Result{Workload: p.Workload, FSName: mk.FS.Name(), Checkpoint: cp}
 
 	replayStart := time.Now()
-	crash := blockdev.NewSnapshot(p.base)
-	if err := blockdev.ReplayToCheckpoint(crash, p.rec.Log(), cp); err != nil {
+	crash, replayed, err := p.state(cp, mk.ScratchStates, mk.Meter)
+	if err != nil {
 		return nil, fmt.Errorf("crashmonkey: replay: %w", err)
 	}
+	// Forks hold only recovery/checker writes; hand their buffers back to
+	// the pool once the verdict is composed (nothing below retains device
+	// memory: findings are strings, the index copies file contents).
+	defer crash.Release()
+	res.ReplayedWrites = replayed
 	res.ReplayDur = time.Since(replayStart)
 
 	exp := p.expectations[cp-1]

@@ -65,6 +65,11 @@ type ReorderReport struct {
 	// Broken lists states that neither mounted nor repaired: violations of
 	// the core-mechanism assumption.
 	Broken []string
+	// ReplayedWrites is the metered number of recorded writes replayed to
+	// construct the sweep's states. The incremental engine replays each
+	// epoch once per sweep plus the in-flight deltas; the scratch engine
+	// re-replays every prior epoch for every state.
+	ReplayedWrites int64
 	// PerEpoch is the accounting per IO epoch, in stream order.
 	PerEpoch []ReorderEpoch
 }
@@ -88,41 +93,88 @@ func (mk *Monkey) ExploreReorder(p *Profile, k int) (*ReorderReport, error) {
 		report.PerEpoch[i].Writes = len(ep.Writes)
 	}
 
-	var sweepErr error
-	blockdev.ForEachReorderState(log, k, func(st blockdev.ReorderState, apply func(blockdev.Device) error) bool {
-		crash := blockdev.NewSnapshot(p.base)
-		if err := apply(crash); err != nil {
-			sweepErr = err
-			return false
-		}
+	// handle judges one constructed state: fingerprints come from the
+	// snapshot (O(1) on the incremental path, an overlay scan on the
+	// scratch path — same value either way).
+	handle := func(st blockdev.ReorderState, crash *blockdev.Snapshot) (bool, error) {
 		report.States++
-
 		var key stateKey
 		if mk.Prune != nil {
 			key = stateKey{state: crash.Fingerprint(), oracle: mk.pruneSalt() ^ reorderOracleSalt}
 			if v, ok := mk.Prune.lookupDisk(key); ok {
 				report.Pruned++
 				report.tally(st, v)
-				return true
+				return true, nil
 			}
 		}
 		report.Checked++
 		v, err := mk.recoverReorderState(crash)
 		if err != nil {
-			sweepErr = err
-			return false
+			return false, err
 		}
 		if mk.Prune != nil {
 			mk.Prune.misses.Add(1)
 			mk.Prune.storeDisk(key, v)
 		}
 		report.tally(st, v)
-		return true
-	})
+		return true, nil
+	}
+
+	var sweepErr error
+	if mk.ScratchStates {
+		// Cross-check engine: every state from a fresh snapshot, replaying
+		// all prior epochs (the pre-cursor behaviour).
+		blockdev.ForEachReorderState(log, k, func(st blockdev.ReorderState, apply func(blockdev.Device) error) bool {
+			crash := blockdev.NewSnapshot(p.base)
+			crash.SetMeter(mk.Meter)
+			if err := apply(crash); err != nil {
+				sweepErr = err
+				return false
+			}
+			report.ReplayedWrites += scratchReplayCost(epochs, st)
+			ok, err := handle(st, crash)
+			if err != nil {
+				sweepErr = err
+				return false
+			}
+			return ok
+		})
+		if mk.Meter != nil {
+			mk.Meter.BlocksReplayed.Add(report.ReplayedWrites)
+		}
+	} else {
+		replayed, err := blockdev.ForEachReorderStateIncremental(p.base, log, k, mk.Meter,
+			func(st blockdev.ReorderState, crash *blockdev.Snapshot) bool {
+				ok, herr := handle(st, crash)
+				if herr != nil {
+					sweepErr = herr
+					return false
+				}
+				return ok
+			})
+		report.ReplayedWrites = replayed
+		if err != nil && sweepErr == nil {
+			sweepErr = err
+		}
+	}
 	if sweepErr != nil {
 		return nil, sweepErr
 	}
 	return report, nil
+}
+
+// scratchReplayCost is the number of writes the from-scratch engine replays
+// to construct st: every write of the epochs before it plus the in-flight
+// prefix or surviving subset.
+func scratchReplayCost(epochs []blockdev.Epoch, st blockdev.ReorderState) int64 {
+	var n int64
+	for e := 0; e < st.Epoch && e < len(epochs); e++ {
+		n += int64(len(epochs[e].Writes))
+	}
+	if st.Epoch >= 0 && st.Epoch < len(epochs) {
+		n += int64(st.Applied - len(st.Dropped))
+	}
+	return n
 }
 
 // recoverReorderState mounts the crash state, falling back to fsck plus a

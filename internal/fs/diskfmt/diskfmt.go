@@ -48,7 +48,7 @@ func WriteSuperblock(dev blockdev.Device, sb Superblock) error {
 }
 
 func readSuperblock(dev blockdev.Device, slot int64, magic uint32) (Superblock, bool) {
-	blk, err := dev.ReadBlock(slot)
+	blk, err := blockdev.ReadView(dev, slot)
 	if err != nil {
 		return Superblock{}, false
 	}
@@ -121,8 +121,10 @@ func WriteBlob(dev blockdev.Device, startBlock int64, magic uint32, payload []by
 }
 
 // ReadBlob loads a blob written by WriteBlob, verifying magic and checksum.
+// Blocks are read through borrowed views (no per-block allocation); every
+// viewed byte is copied into the payload before the function returns.
 func ReadBlob(dev blockdev.Device, startBlock int64, magic uint32) ([]byte, int64, error) {
-	head, err := dev.ReadBlock(startBlock)
+	head, err := blockdev.ReadView(dev, startBlock)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -148,7 +150,7 @@ func ReadBlob(dev blockdev.Device, startBlock int64, magic uint32) ([]byte, int6
 	}
 	payload = append(payload, head[headerLen:hi]...)
 	for i := int64(1); i < blocks; i++ {
-		blk, err := dev.ReadBlock(startBlock + i)
+		blk, err := blockdev.ReadView(dev, startBlock+i)
 		if err != nil {
 			return nil, 0, err
 		}

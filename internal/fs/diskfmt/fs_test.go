@@ -24,7 +24,7 @@ func fsSetup(t *testing.T, fs *FS) (*blockdev.MemDisk, *blockdev.Recorder, files
 func fsCrashMount(t *testing.T, fs *FS, base *blockdev.MemDisk, rec *blockdev.Recorder) filesys.MountedFS {
 	t.Helper()
 	crash := blockdev.NewSnapshot(base)
-	if err := blockdev.ReplayToCheckpoint(crash, rec.Log(), rec.Checkpoints()); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, rec.Log(), rec.Checkpoints()); err != nil {
 		t.Fatal(err)
 	}
 	m, err := fs.Mount(crash)
@@ -110,7 +110,7 @@ func TestFSTornCheckpointKeepsPreviousGeneration(t *testing.T) {
 	// take only the writes before the last checkpoint's superblock flush by
 	// replaying to the previous checkpoint.
 	crash := blockdev.NewSnapshot(base)
-	if err := blockdev.ReplayToCheckpoint(crash, rec.Log(), 1); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, rec.Log(), 1); err != nil {
 		t.Fatal(err)
 	}
 	cm, err := fs.Mount(crash)

@@ -42,7 +42,7 @@ func (h *harness) cp() { h.rec.Checkpoint() }
 func (h *harness) crashMount() filesys.MountedFS {
 	h.t.Helper()
 	crash := blockdev.NewSnapshot(h.base)
-	if err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), h.rec.Checkpoints()); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), h.rec.Checkpoints()); err != nil {
 		h.t.Fatal(err)
 	}
 	m, err := h.fs.Mount(crash)

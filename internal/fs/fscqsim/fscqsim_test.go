@@ -25,7 +25,7 @@ func setup(t *testing.T, fs *FS) (*blockdev.MemDisk, *blockdev.Recorder, filesys
 func crashMount(t *testing.T, fs *FS, base *blockdev.MemDisk, rec *blockdev.Recorder) filesys.MountedFS {
 	t.Helper()
 	crash := blockdev.NewSnapshot(base)
-	if err := blockdev.ReplayToCheckpoint(crash, rec.Log(), rec.Checkpoints()); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, rec.Log(), rec.Checkpoints()); err != nil {
 		t.Fatal(err)
 	}
 	m, err := fs.Mount(crash)

@@ -60,7 +60,7 @@ func writeSuperblock(dev blockdev.Device, sb superblock) error {
 }
 
 func readSuperblock(dev blockdev.Device, slot int64) (superblock, bool) {
-	blk, err := dev.ReadBlock(slot)
+	blk, err := blockdev.ReadView(dev, slot)
 	if err != nil {
 		return superblock{}, false
 	}
@@ -123,9 +123,12 @@ func writeBlob(dev blockdev.Device, startBlock int64, magic uint32, payload []by
 }
 
 // readBlob loads a blob written by writeBlob, verifying magic and checksum.
-// It returns the payload and the number of blocks the blob occupies.
+// It returns the payload and the number of blocks the blob occupies. Blocks
+// are read through borrowed views (no per-block allocation); every viewed
+// byte is copied into the payload before the function returns, so no view
+// outlives the calls that lent it.
 func readBlob(dev blockdev.Device, startBlock int64, magic uint32) ([]byte, int64, error) {
-	head, err := dev.ReadBlock(startBlock)
+	head, err := blockdev.ReadView(dev, startBlock)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -147,7 +150,7 @@ func readBlob(dev blockdev.Device, startBlock int64, magic uint32) ([]byte, int6
 	payload := make([]byte, 0, n)
 	payload = append(payload, head[headerLen:min64(int64(blockdev.BlockSize), total)]...)
 	for i := int64(1); i < blocks; i++ {
-		blk, err := dev.ReadBlock(startBlock + i)
+		blk, err := blockdev.ReadView(dev, startBlock+i)
 		if err != nil {
 			return nil, 0, err
 		}

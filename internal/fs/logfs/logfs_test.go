@@ -53,7 +53,7 @@ func (h *harness) crashMount() (filesys.MountedFS, error) {
 	if n == 0 {
 		h.t.Fatal("no checkpoints recorded")
 	}
-	if err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), n); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), n); err != nil {
 		h.t.Fatal(err)
 	}
 	return h.fs.Mount(crash)
@@ -1216,7 +1216,7 @@ func TestFsckRepairsUnmountable(t *testing.T) {
 	h.cp()
 
 	crash := blockdev.NewSnapshot(h.base)
-	if err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), h.rec.Checkpoints()); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), h.rec.Checkpoints()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := h.fs.Mount(crash); err == nil {

@@ -24,7 +24,7 @@ func TestIntermediateCheckpointsEquivalent(t *testing.T) {
 	h.cp()
 
 	crash := blockdev.NewSnapshot(h.base)
-	if err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), 1); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), 1); err != nil {
 		t.Fatal(err)
 	}
 	m1, err := fs.Mount(crash)
@@ -60,7 +60,7 @@ func TestDoubleRecoveryIdempotent(t *testing.T) {
 	h.cp()
 
 	crash := blockdev.NewSnapshot(h.base)
-	if err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), 1); err != nil {
+	if _, err := blockdev.ReplayToCheckpoint(crash, h.rec.Log(), 1); err != nil {
 		t.Fatal(err)
 	}
 	m1, err := h.fs.Mount(crash)

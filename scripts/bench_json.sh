@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# bench_json.sh — run the crash-state construction / reorder / campaign
+# benchmarks once (-benchtime=1x keeps this CI-cheap) and emit the results
+# as BENCH_construct.json: ns/op, replayed-writes/state, allocs/op per
+# benchmark. The committed file at the repo root is the perf baseline each
+# PR's numbers are compared against; the CI job is non-blocking so a noisy
+# runner never fails a build, but the JSON lands in the job log and artifact
+# for trend inspection.
+#
+# Usage: scripts/bench_json.sh [output-file]
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_construct.json}"
+
+go test -run '^$' \
+  -bench 'BenchmarkCrashMonkeyConstructCrashState|BenchmarkAblationReorderExploration|BenchmarkTable4Seq1$' \
+  -benchtime 1x -benchmem . |
+  go run ./cmd/benchjson >"$out"
+
+echo "wrote $out:" >&2
+cat "$out" >&2
