@@ -1,35 +1,8 @@
-// Package b3 is the public API of this repository: a Go reproduction of
-// "Finding Crash-Consistency Bugs with Bounded Black-Box Crash Testing"
-// (Mohan, Martinez, Ponnapalli, Raju, Chidambaram — OSDI 2018).
-//
-// The B3 approach tests a file system in a black-box manner: workloads of
-// file-system operations are generated exhaustively within a bounded space
-// (ACE), each workload is executed while its block IO is recorded, a crash
-// is simulated after every persistence point, and the recovered state is
-// checked against an oracle (CrashMonkey).
-//
-// Quick start:
-//
-//	fs, _ := b3.NewFS("logfs", b3.CampaignConfig())   // btrfs-like, Table 5 bugs live
-//	res, _ := b3.Test(fs, `
-//	    creat /foo
-//	    mkdir /A
-//	    link /foo /A/bar
-//	    fsync /foo
-//	`)
-//	if res.Buggy() { fmt.Println(res.Primary()) }
-//
-// or run a full campaign:
-//
-//	stats, _ := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1})
-//	fmt.Print(stats.Summary())
-//
-// Everything the paper's evaluation reports can be regenerated; see
-// EXPERIMENTS.md and the cmd/ tools.
 package b3
 
 import (
 	"fmt"
+	"time"
 
 	"b3/internal/ace"
 	"b3/internal/bugs"
@@ -64,6 +37,15 @@ type (
 	// CampaignMatrix summarises a multi-file-system campaign: per-FS stats
 	// plus a merged cross-FS report table.
 	CampaignMatrix = campaign.Matrix
+	// CampaignProgress is one cumulative live-progress snapshot delivered
+	// to Campaign.OnProgress while a campaign runs.
+	CampaignProgress = campaign.Progress
+	// CampaignMerge is the outcome of folding a sharded campaign's corpus
+	// directory: one merged row per file system.
+	CampaignMerge = campaign.Merge
+	// CampaignMergeRow is one merged campaign: folded Stats plus shard
+	// bookkeeping.
+	CampaignMergeRow = campaign.MergeRow
 	// Version is a simulated kernel version.
 	Version = bugs.Version
 	// Bug is a catalogued crash-consistency bug mechanism.
@@ -160,14 +142,41 @@ func TestWorkload(fs FileSystem, w *Workload) (*Result, error) {
 
 // Campaign configures a full B3 run: exhaustive generation + testing.
 type Campaign struct {
+	// FS is the file system under test (ignored by RunCampaignMatrix,
+	// which takes its row list explicitly).
 	FS FileSystem
 	// Profile selects a Table 4 workload set; Bounds overrides it.
 	Profile ace.ProfileName
-	Bounds  *Bounds
-	// Workers, MaxWorkloads, SampleEvery tune the run (see campaign docs).
-	Workers      int
+	// Bounds, when non-nil, is the exact ACE exploration space to sweep
+	// instead of a named profile.
+	Bounds *Bounds
+	// Workers sets the worker-pool size (0 = GOMAXPROCS).
+	Workers int
+	// MaxWorkloads stops generation after this many workloads have been
+	// enumerated (0 = the full space). A bounded campaign still writes a
+	// mergeable corpus, but bounded *shards* stop at slightly different
+	// enumeration points and cannot be merged; prefer SampleEvery for
+	// cheap sharded sweeps.
 	MaxWorkloads int64
-	SampleEvery  int64
+	// SampleEvery tests only every n-th workload (1 or 0 = all). The space
+	// is still enumerated fully, so Generated counts stay exact.
+	SampleEvery int64
+	// Shard and NumShards partition the campaign across processes: shard i
+	// of n tests exactly the workloads whose deterministic ACE sequence
+	// number satisfies seq mod n == i (with SampleEvery s > 1, workload
+	// s·m belongs to shard m mod n, so the classes stay balanced for any
+	// (s, n) pair). Run all n residue classes (same flags, same CorpusDir)
+	// and fold them with MergeCampaignCorpus; the merged totals and bug
+	// groups are identical to the unsharded run. NumShards of 0 or 1
+	// means unsharded.
+	Shard     int
+	NumShards int
+	// OnProgress, when non-nil, receives cumulative progress snapshots
+	// every ProgressEvery while the campaign runs (plus a final one), so
+	// long sweeps can print a live states/s / replayed-writes/s line.
+	OnProgress func(CampaignProgress)
+	// ProgressEvery is the OnProgress interval (0 = every 5s).
+	ProgressEvery time.Duration
 	// DedupKnown seeds the §5.3 known-bug database from the studied-bug
 	// corpus, so only new bugs are reported.
 	DedupKnown bool
@@ -195,9 +204,15 @@ type Campaign struct {
 	PruneCap int
 	// CorpusDir persists per-workload progress to an append-only JSONL
 	// shard under this directory; Resume skips workloads already recorded
-	// there, so a killed campaign continues where it stopped.
+	// there, so a killed campaign continues where it stopped. Sharded
+	// campaigns write one corpus shard per residue class under the same
+	// directory, which is what MergeCampaignCorpus folds back together.
 	CorpusDir string
-	Resume    bool
+	// Resume loads the corpus shard matching this exact configuration
+	// (bounds, sampling, strategy, and shard identity are all
+	// fingerprinted) and folds its recorded verdicts back in instead of
+	// re-testing. Requires CorpusDir.
+	Resume bool
 }
 
 // RunCampaign executes the campaign and returns its statistics.
@@ -221,6 +236,20 @@ func RunCampaignMatrix(c Campaign, fss []FileSystem) (*CampaignMatrix, error) {
 	return campaign.RunMatrix(cfg, fss)
 }
 
+// MergeCampaignCorpus folds a directory of completed campaign corpus
+// shards — the residue classes of a sharded campaign, across any number of
+// file systems — into one merged report, without re-running anything. The
+// merged totals, bug groups, and reorder/replay counters are identical to
+// the unsharded campaign's. Every residue class must be present and
+// complete; dedupKnown splits merged groups against the §5.3 known-bug
+// database (KnownBugDB), matching a campaign run with DedupKnown.
+func MergeCampaignCorpus(dir string, dedupKnown bool) (*CampaignMerge, error) {
+	if dedupKnown {
+		return campaign.MergeDir(dir, KnownBugDB)
+	}
+	return campaign.MergeDir(dir, nil)
+}
+
 // config lowers the facade Campaign into the campaign package's Config.
 func (c Campaign) config() (campaign.Config, error) {
 	bounds := ace.Default(1)
@@ -241,6 +270,10 @@ func (c Campaign) config() (campaign.Config, error) {
 		Workers:       c.Workers,
 		MaxWorkloads:  c.MaxWorkloads,
 		SampleEvery:   c.SampleEvery,
+		Shard:         c.Shard,
+		NumShards:     c.NumShards,
+		OnProgress:    c.OnProgress,
+		ProgressEvery: c.ProgressEvery,
 		FinalOnly:     c.FinalOnly,
 		Reorder:       c.Reorder,
 		NoPrune:       c.NoPrune,

@@ -3,6 +3,7 @@ package b3_test
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"b3"
 	"b3/internal/bugs"
@@ -232,5 +233,76 @@ func TestCampaignConfigProducesOnlyNewConsequences(t *testing.T) {
 		if g.Key.Consequence == bugs.Unmountable {
 			t.Fatalf("unexpected unmountable group:\n%s", g.Render())
 		}
+	}
+}
+
+// TestFacadeShardingAndProgress drives the sharding, merge, and live
+// progress knobs through the public API: two residue classes of a seq-1
+// campaign into one corpus directory, folded by MergeCampaignCorpus into
+// the unsharded totals, with OnProgress snapshots delivered along the way.
+func TestFacadeShardingAndProgress(t *testing.T) {
+	dir := t.TempDir()
+	var snapshots int
+	var perShard []*b3.CampaignStats
+	for shard := 0; shard < 2; shard++ {
+		fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := b3.RunCampaign(b3.Campaign{
+			FS:            fs,
+			Profile:       b3.Seq1,
+			Shard:         shard,
+			NumShards:     2,
+			CorpusDir:     dir,
+			ProgressEvery: time.Millisecond,
+			OnProgress:    func(b3.CampaignProgress) { snapshots++ },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Shard != shard || stats.NumShards != 2 {
+			t.Fatalf("shard identity not echoed: %d/%d", stats.Shard, stats.NumShards)
+		}
+		if !strings.Contains(stats.Summary(), "shard") {
+			t.Fatal("sharded Summary does not mention the shard")
+		}
+		perShard = append(perShard, stats)
+	}
+	if snapshots == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	if perShard[0].Tested+perShard[1].Tested != perShard[0].Generated {
+		t.Fatalf("shards tested %d + %d of %d workloads",
+			perShard[0].Tested, perShard[1].Tested, perShard[0].Generated)
+	}
+
+	merged, err := b3.MergeCampaignCorpus(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := merged.ByFS("logfs")
+	if row == nil || row.ShardsMerged != 2 {
+		t.Fatalf("merge row wrong: %+v", row)
+	}
+	if row.Stats.Tested != perShard[0].Generated {
+		t.Fatalf("merged tested %d of %d generated", row.Stats.Tested, perShard[0].Generated)
+	}
+	if row.Stats.Failed == 0 || len(row.Stats.Groups) == 0 {
+		t.Fatal("merged row lost the seq-1 bug groups")
+	}
+	if !strings.Contains(merged.Summary(), "logfs") {
+		t.Fatalf("merged summary incomplete:\n%s", merged.Summary())
+	}
+
+	// Misconfigured shards are refused through the facade too.
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b3.RunCampaign(b3.Campaign{
+		FS: fs, Profile: b3.Seq1, Shard: 2, NumShards: 2,
+	}); err == nil {
+		t.Fatal("out-of-range shard accepted")
 	}
 }

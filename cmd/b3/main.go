@@ -8,6 +8,9 @@
 //	b3 -profile seq-2 -fs logfs,journalfs   # matrix: a chosen subset
 //	b3 -profile seq-2 -corpus runs/         # resumable: progress on disk
 //	b3 -profile seq-2 -corpus runs/ -resume # continue a killed campaign
+//	b3 -profile seq-3-metadata -shard 2/5 -corpus runs/   # residue class 2 of 5
+//	b3 -merge runs/                         # fold completed shards: one report
+//	b3 -profile seq-3-metadata -shard 0/5 -v   # + live progress line with ETA
 //	b3 -profile seq-2 -no-prune             # cross-check: no state pruning
 //	b3 -profile seq-1 -fs all -reorder 1    # + bounded-reordering crash states
 //	b3 -profile seq-3-data -prune-cap 65536 # bound the verdict cache
@@ -20,7 +23,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"b3"
@@ -47,14 +52,23 @@ func main() {
 		reorder   = flag.Int("reorder", 0, "also sweep bounded-reordering crash states, dropping up to k in-flight epoch writes (0 = off; 1 = prefixes + drop-one)")
 		corpusDir = flag.String("corpus", "", "persist campaign progress to JSONL shards under this directory")
 		resume    = flag.Bool("resume", false, "resume an interrupted campaign from the -corpus shard")
+		shard     = flag.String("shard", "", "run one residue class i/n of the campaign (e.g. 2/5: workloads with seq%5==2); run all n with the same -corpus, then -merge")
+		mergeDir  = flag.String("merge", "", "fold the completed campaign shards under this directory into one report (no re-running)")
 	)
 	flag.Parse()
 	if *resume && *corpusDir == "" {
 		fmt.Fprintln(os.Stderr, "b3: -resume requires -corpus DIR")
 		os.Exit(2)
 	}
+	shardIdx, numShards, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "b3:", err)
+		os.Exit(2)
+	}
 
 	switch {
+	case *mergeDir != "":
+		runMerge(*mergeDir, *dedup)
 	case *table4:
 		runTable4(*sample, *maxW)
 	case *findNew:
@@ -63,6 +77,7 @@ func main() {
 			noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
 			reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
 			scratch: *scratch, verbose: *verbose,
+			shard: shardIdx, numShards: numShards,
 		})
 	case *reproduce:
 		runReproduce()
@@ -73,6 +88,7 @@ func main() {
 				noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
 				reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
 				scratch: *scratch, verbose: *verbose,
+				shard: shardIdx, numShards: numShards,
 			},
 			profile: *profile, fs: *fsName, maxW: *maxW, dedup: *dedup,
 		})
@@ -117,6 +133,71 @@ type campaignOpts struct {
 	resume             bool
 	scratch            bool
 	verbose            bool
+	shard, numShards   int
+}
+
+// parseShard parses the -shard flag: "i/n" with 0 <= i < n ("" = unsharded).
+func parseShard(arg string) (shard, numShards int, err error) {
+	if arg == "" {
+		return 0, 0, nil
+	}
+	before, after, ok := strings.Cut(arg, "/")
+	if ok {
+		shard, err = strconv.Atoi(before)
+		if err == nil {
+			numShards, err = strconv.Atoi(after)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want i/n, e.g. 2/5", arg)
+	}
+	if numShards < 1 || shard < 0 || shard >= numShards {
+		return 0, 0, fmt.Errorf("-shard %q: shard index must satisfy 0 <= i < n", arg)
+	}
+	return shard, numShards, nil
+}
+
+// runMerge folds the completed campaign shards under dir into one report.
+func runMerge(dir string, dedup bool) {
+	m, err := b3.MergeCampaignCorpus(dir, dedup)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(m.Summary())
+	var rows []*b3.CampaignStats
+	for _, r := range m.Rows {
+		rows = append(rows, r.Stats)
+	}
+	exitOnBrokenReorder(rows)
+}
+
+// progressPrinter returns an OnProgress callback printing a live progress
+// line to stderr: workload/state/replay rates from differenced snapshots,
+// plus an ETA once the background space count (total) lands. rows is the
+// number of matrix rows (snapshots sum across them); divisor scales the
+// enumeration down to one row's tested share (shards × sampling).
+func progressPrinter(total *atomic.Int64, rows, divisor int64) func(b3.CampaignProgress) {
+	var last b3.CampaignProgress
+	return func(p b3.CampaignProgress) {
+		dt := (p.Elapsed - last.Elapsed).Seconds()
+		if dt <= 0 {
+			return
+		}
+		line := fmt.Sprintf("progress: %d workloads (%.0f/s), %d states (%.0f/s), %d writes replayed (%.0f/s)",
+			p.Workloads, float64(p.Workloads-last.Workloads)/dt,
+			p.States, float64(p.States-last.States)/dt,
+			p.ReplayedWrites, float64(p.ReplayedWrites-last.ReplayedWrites)/dt)
+		if t := total.Load(); t > 0 && p.Workloads > last.Workloads {
+			expected := t * rows / divisor
+			if remaining := expected - p.Workloads; remaining > 0 {
+				rate := float64(p.Workloads-last.Workloads) / dt
+				eta := time.Duration(float64(remaining) / rate * float64(time.Second))
+				line += fmt.Sprintf(", ~%d/%d done, eta %s", p.Workloads, expected, eta.Round(time.Second))
+			}
+		}
+		fmt.Fprintln(os.Stderr, line)
+		last = p
+	}
 }
 
 // printBlockIO emits the -v block-IO metering lines for each campaign row.
@@ -169,6 +250,7 @@ func runFindNewBugs(o campaignOpts) {
 				SampleEvery: o.sample, DedupKnown: true,
 				NoPrune: o.noPrune, PruneCap: o.pruneCap, FinalOnly: o.finalOnly,
 				Reorder: o.reorder, ScratchStates: o.scratch,
+				Shard: o.shard, NumShards: o.numShards,
 				// Each (fs, profile) pair gets its own corpus shard.
 				CorpusDir: o.corpusDir, Resume: o.resume,
 			})
@@ -296,7 +378,38 @@ func runProfile(r profileRun) {
 		SampleEvery: r.sample, MaxWorkloads: r.maxW, DedupKnown: r.dedup,
 		NoPrune: r.noPrune, PruneCap: r.pruneCap, FinalOnly: r.finalOnly,
 		Reorder: r.reorder, ScratchStates: r.scratch,
+		Shard: r.shard, NumShards: r.numShards,
 		CorpusDir: r.corpusDir, Resume: r.resume,
+	}
+	if r.verbose {
+		// Live progress while the sweep runs. The ETA needs the space size;
+		// counting a seq-3 space takes tens of seconds of pure enumeration,
+		// so it runs in the background and the ETA appears once it lands. A
+		// -max bound caps the enumeration, so it caps the ETA total too —
+		// and is known upfront.
+		var total atomic.Int64
+		if r.maxW > 0 {
+			total.Store(r.maxW)
+		}
+		go func() {
+			bounds, err := b3.ProfileBounds(c.Profile)
+			if err != nil {
+				return
+			}
+			if n, err := b3.GenerateWorkloads(bounds, func(*b3.Workload) bool { return true }); err == nil {
+				if r.maxW <= 0 || n < r.maxW {
+					total.Store(n)
+				}
+			}
+		}()
+		divisor := int64(1)
+		if r.numShards > 1 {
+			divisor *= int64(r.numShards)
+		}
+		if r.sample > 1 {
+			divisor *= r.sample
+		}
+		c.OnProgress = progressPrinter(&total, int64(len(fss)), divisor)
 	}
 	var rows []*b3.CampaignStats
 	if len(fss) == 1 {

@@ -1,0 +1,58 @@
+// Package b3 is the public API of this repository: a Go reproduction of
+// "Finding Crash-Consistency Bugs with Bounded Black-Box Crash Testing"
+// (Mohan, Martinez, Ponnapalli, Raju, Chidambaram — OSDI 2018), grown
+// into a fast, shardable, resumable crash-testing system.
+//
+// The B3 approach tests a file system in a black-box manner: workloads of
+// file-system operations are generated exhaustively within a bounded space
+// (ACE), each workload is executed while its block IO is recorded, a crash
+// is simulated after every persistence point, and the recovered state is
+// checked against an oracle (CrashMonkey). The full pipeline and the
+// invariants each layer guarantees are described in docs/ARCHITECTURE.md.
+//
+// # Testing one workload
+//
+//	fs, _ := b3.NewFS("logfs", b3.CampaignConfig())   // btrfs-like, Table 5 bugs live
+//	res, _ := b3.Test(fs, `
+//	    creat /foo
+//	    mkdir /A
+//	    link /foo /A/bar
+//	    fsync /foo
+//	`)
+//	if res.Buggy() { fmt.Println(res.Primary()) }
+//
+// # Campaigns
+//
+// A campaign sweeps a whole bounded workload space (a Table 4 profile or
+// custom Bounds) through a worker pool:
+//
+//	stats, _ := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1})
+//	fmt.Print(stats.Summary())
+//
+// Campaign progress can be persisted to an append-only corpus
+// (CorpusDir/Resume), swept across every backend at once
+// (RunCampaignMatrix), and observed live while it runs (OnProgress).
+//
+// # Sharded campaigns
+//
+// The seq-3 spaces hold millions of workloads — more than one process
+// should own. A campaign partitions deterministically into residue
+// classes over ACE's stable sequence numbering: shard i of n tests
+// exactly the workloads with seq mod n == i, and the union of all n
+// shards is provably the unsharded campaign. Each shard persists its own
+// corpus shard; MergeCampaignCorpus folds a completed residue system back
+// into one set of statistics and one deduplicated bug report without
+// re-running anything (see Example_shardedCampaign):
+//
+//	for i := 0; i < 5; i++ {  // each shard runs on its own machine, in reality
+//	    b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq3Metadata,
+//	        Shard: i, NumShards: 5, CorpusDir: "runs/"})
+//	}
+//	// ...after all five finish:
+//	merged, _ := b3.MergeCampaignCorpus("runs/", true)
+//	fmt.Print(merged.Summary())
+//
+// Everything the paper's evaluation reports can be regenerated; see
+// EXPERIMENTS.md and the cmd/ tools (cmd/b3 exposes sharding as
+// "-shard i/n" and merging as "-merge dir/").
+package b3

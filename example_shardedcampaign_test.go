@@ -1,0 +1,51 @@
+package b3_test
+
+import (
+	"fmt"
+	"os"
+
+	"b3"
+)
+
+// Example_shardedCampaign partitions a seq-1 campaign into two residue
+// classes, runs each into a shared corpus directory (in reality each shard
+// would run on its own machine: `b3 -profile seq-1 -shard i/2 -corpus
+// runs/`), and folds the completed shards back into one report with
+// MergeCampaignCorpus — totals and bug groups identical to the unsharded
+// run, without re-testing anything.
+func Example_shardedCampaign() {
+	dir, err := os.MkdirTemp("", "b3-shards-")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	for shard := 0; shard < 2; shard++ {
+		fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		if _, err := b3.RunCampaign(b3.Campaign{
+			FS:        fs,
+			Profile:   b3.Seq1,
+			Shard:     shard,
+			NumShards: 2,
+			CorpusDir: dir,
+		}); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	merged, err := b3.MergeCampaignCorpus(dir, false)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	row := merged.ByFS("logfs")
+	fmt.Printf("%d workloads, %d failing, %d bug groups from %d shards\n",
+		row.Stats.Generated, row.Stats.Failed, len(row.Stats.Groups), row.ShardsMerged)
+	// Output: 820 workloads, 215 failing, 11 bug groups from 2 shards
+}

@@ -1,6 +1,7 @@
 package ace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -276,5 +277,70 @@ func TestGenerateStopsEarly(t *testing.T) {
 	n, err := g.Generate(func(w *workload.Workload) bool { return false })
 	if err != nil || n != 1 {
 		t.Fatalf("early stop: n=%d err=%v", n, err)
+	}
+}
+
+// TestShardPartitionIsExactCover: the residue-class partition is the
+// contract sharded campaigns rest on — the classes 0..n-1 must be disjoint,
+// their union must be exactly the unsharded enumeration (same workloads,
+// same sequence numbers, same IDs), and every member must sit in its class.
+func TestShardPartitionIsExactCover(t *testing.T) {
+	bounds := Default(1)
+	full := map[int64]string{}
+	fullCount, err := New(bounds).GenerateSeq(func(seq int64, w *workload.Workload) bool {
+		full[seq] = w.String()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != fullCount {
+		t.Fatalf("unsharded stream: %d workloads for count %d", len(full), fullCount)
+	}
+
+	const n = 3
+	union := map[int64]string{}
+	for shard := 0; shard < n; shard++ {
+		g := New(bounds)
+		g.Shard, g.NumShards = shard, n
+		count, err := g.GenerateSeq(func(seq int64, w *workload.Workload) bool {
+			if seq%n != int64(shard) {
+				t.Fatalf("shard %d streamed seq %d (residue %d)", shard, seq, seq%n)
+			}
+			if wantID := fmt.Sprintf("ace-%d", seq); wantID != w.ID {
+				t.Fatalf("seq %d carries ID %q, want %q", seq, w.ID, wantID)
+			}
+			if _, dup := union[seq]; dup {
+				t.Fatalf("seq %d streamed by two shards", seq)
+			}
+			union[seq] = w.String()
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != fullCount {
+			t.Fatalf("shard %d reports count %d, unsharded reports %d", shard, count, fullCount)
+		}
+	}
+	if len(union) != len(full) {
+		t.Fatalf("union covers %d of %d workloads", len(union), len(full))
+	}
+	for seq, text := range full {
+		if union[seq] != text {
+			t.Fatalf("seq %d differs between shard and unsharded enumeration:\n%s\nvs\n%s",
+				seq, union[seq], text)
+		}
+	}
+}
+
+// TestShardValidation: out-of-range residue classes are refused.
+func TestShardValidation(t *testing.T) {
+	for _, tc := range []struct{ shard, n int }{{2, 2}, {-1, 2}, {0, -1}} {
+		g := New(Default(1))
+		g.Shard, g.NumShards = tc.shard, tc.n
+		if _, err := g.Generate(func(*workload.Workload) bool { return true }); err == nil {
+			t.Fatalf("shard %d/%d accepted", tc.shard, tc.n)
+		}
 	}
 }

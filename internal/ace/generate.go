@@ -13,6 +13,20 @@ type Generator struct {
 	Bounds Bounds
 	// prefix used in workload IDs.
 	IDPrefix string
+
+	// Shard and NumShards partition the enumeration into residue classes:
+	// when NumShards > 1, only workloads whose 1-based sequence number
+	// satisfies seq mod NumShards == Shard are streamed to fn. Generation
+	// order is deterministic, so the partition is stable across runs and
+	// processes: the classes 0..NumShards-1 are disjoint, their union is
+	// the full space, and every workload keeps the sequence number (and
+	// "ace-<seq>" ID) it has in the unsharded enumeration. The full space
+	// is still enumerated — phase-4 dependency building decides which
+	// candidates become workloads, so sequence numbering cannot be skipped
+	// ahead — and the returned count stays the full-space count.
+	Shard     int
+	NumShards int
+
 	// dirSet caches Bounds.Dirs as a set for phase-4 dependency building;
 	// rebuilt at the start of every Generate so Bounds edits take effect.
 	dirSet map[string]bool
@@ -21,12 +35,27 @@ type Generator struct {
 // New returns a generator over the given bounds.
 func New(b Bounds) *Generator { return &Generator{Bounds: b, IDPrefix: "ace"} }
 
-// Generate streams every workload in the bounded space to fn in a
-// deterministic order. fn returning false stops generation early.
-// The returned count is the number of workloads emitted.
+// Generate streams every workload in the bounded space (restricted to the
+// generator's shard residue class, if any) to fn in a deterministic order.
+// fn returning false stops generation early. The returned count is the
+// number of workloads enumerated, shard members or not.
 func (g *Generator) Generate(fn func(w *workload.Workload) bool) (int64, error) {
+	return g.GenerateSeq(func(_ int64, w *workload.Workload) bool { return fn(w) })
+}
+
+// GenerateSeq is Generate with each workload's global 1-based sequence
+// number passed alongside. The sequence number spans the full enumeration
+// regardless of sharding — it is the stable workload identity that corpus
+// records are keyed by and that the shard partition is computed from.
+func (g *Generator) GenerateSeq(fn func(seq int64, w *workload.Workload) bool) (int64, error) {
 	if g.Bounds.SeqLen < 1 {
 		return 0, fmt.Errorf("ace: sequence length must be >= 1")
+	}
+	if g.NumShards > 1 && (g.Shard < 0 || g.Shard >= g.NumShards) {
+		return 0, fmt.Errorf("ace: shard %d outside residue range 0..%d", g.Shard, g.NumShards-1)
+	}
+	if g.NumShards < 0 {
+		return 0, fmt.Errorf("ace: negative shard count %d", g.NumShards)
 	}
 	g.dirSet = make(map[string]bool, len(g.Bounds.Dirs))
 	for _, d := range g.Bounds.Dirs {
@@ -71,7 +100,7 @@ func (g *Generator) Generate(fn func(w *workload.Workload) bool) (int64, error) 
 // phase2 enumerates parameter assignments for one skeleton.
 func (g *Generator) phase2(skeleton []workload.OpKind,
 	choicesByKind map[workload.OpKind][]choice,
-	emitted *int64, stop *bool, fn func(*workload.Workload) bool) {
+	emitted *int64, stop *bool, fn func(int64, *workload.Workload) bool) {
 
 	assigned := make([]choice, len(skeleton))
 	var rec func(pos int)
@@ -96,7 +125,7 @@ func (g *Generator) phase2(skeleton []workload.OpKind,
 
 // phase3 enumerates persistence-point assignments.
 func (g *Generator) phase3(assigned []choice,
-	emitted *int64, stop *bool, fn func(*workload.Workload) bool) {
+	emitted *int64, stop *bool, fn func(int64, *workload.Workload) bool) {
 
 	persist := make([]persistChoice, len(assigned))
 	var rec func(pos int)
@@ -110,8 +139,13 @@ func (g *Generator) phase3(assigned []choice,
 				return // dependencies unsatisfiable: not a valid workload
 			}
 			*emitted++
+			// Out-of-shard workloads are counted but not streamed: the
+			// sequence number is the cross-shard workload identity.
+			if g.NumShards > 1 && *emitted%int64(g.NumShards) != int64(g.Shard) {
+				return
+			}
 			w.ID = fmt.Sprintf("%s-%d", g.IDPrefix, *emitted)
-			if !fn(w) {
+			if !fn(*emitted, w) {
 				*stop = true
 			}
 			return

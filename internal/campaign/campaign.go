@@ -82,6 +82,29 @@ type Config struct {
 	// verdict-preserving: an evicted state that recurs is re-checked.
 	PruneCap int
 
+	// Shard and NumShards partition the campaign across processes: when
+	// NumShards > 1, only workloads whose ACE sequence number satisfies
+	// seq mod NumShards == Shard are tested (the residue-class partition
+	// of ace.Generator — deterministic, disjoint, union = the full space).
+	// With SampleEvery > 1 the partition applies to the sampled
+	// subsequence instead — workload sample·m belongs to shard m mod
+	// NumShards — so the classes stay balanced for every (sample, shards)
+	// pair; partitioning raw sequence numbers would starve every shard
+	// whose residue never hits a sample multiple (e.g. sample 20, shard
+	// 1/2: multiples of 20 are all even). Each shard writes its own corpus
+	// shard recording its class; MergeStats folds a complete residue
+	// system back into one campaign. NumShards of 0 or 1 means unsharded.
+	Shard     int
+	NumShards int
+
+	// OnProgress, when non-nil, receives cumulative progress snapshots
+	// (summed across matrix rows) every ProgressEvery while the campaign
+	// runs, plus one final snapshot when the worker pool drains. Long
+	// sweeps use it for a live states/s / replayed-writes/s / ETA line.
+	OnProgress func(Progress)
+	// ProgressEvery is the snapshot interval (0 = DefaultProgressEvery).
+	ProgressEvery time.Duration
+
 	// CorpusDir, when set, persists per-workload progress to an
 	// append-only JSONL shard under this directory (internal/corpus).
 	CorpusDir string
@@ -104,7 +127,11 @@ type Config struct {
 // configFingerprint identifies everything that determines per-workload
 // verdicts and sequence numbering, so a corpus shard is only resumed by a
 // compatible campaign. Prune mode is deliberately excluded: pruning is
-// verdict-preserving, so progress survives toggling it.
+// verdict-preserving, so progress survives toggling it. The shard residue
+// class is also excluded — it selects which workloads run, not what any
+// workload's verdict is — and lives in corpus.Meta.Shard/NumShards (and the
+// shard's file key) instead, which is what lets MergeStats group the shards
+// of one campaign by this base fingerprint.
 func (cfg *Config) configFingerprint() string {
 	sample := cfg.SampleEvery
 	if sample <= 0 {
@@ -115,6 +142,34 @@ func (cfg *Config) configFingerprint() string {
 		max(cfg.Reorder, 0))
 }
 
+// numShards normalizes Config.NumShards: 0 and 1 both mean unsharded.
+func (cfg *Config) numShards() int {
+	if cfg.NumShards <= 1 {
+		return 0
+	}
+	return cfg.NumShards
+}
+
+// DefaultProgressEvery is the default Config.OnProgress interval.
+const DefaultProgressEvery = 5 * time.Second
+
+// Progress is one cumulative campaign snapshot, summed across matrix rows.
+// Fields are totals since the campaign started; callers derive rates by
+// differencing consecutive snapshots.
+type Progress struct {
+	// Elapsed is the time since the campaign started.
+	Elapsed time.Duration
+	// Workloads is the number of workloads finished so far: tested,
+	// errored, or folded in from a resumed corpus shard.
+	Workloads int64
+	// States is the number of crash states constructed so far (checkpoint
+	// sweep plus reorder sweep).
+	States int64
+	// ReplayedWrites is the number of recorded writes replayed so far to
+	// construct those states.
+	ReplayedWrites int64
+}
+
 // Stats is the campaign outcome.
 type Stats struct {
 	FSName    string
@@ -122,6 +177,12 @@ type Stats struct {
 	Tested    int64
 	Failed    int64
 	Errors    int64
+
+	// Shard and NumShards echo the residue-class partition the campaign
+	// ran with (0/0 when unsharded): this Stats covers only workloads with
+	// seq mod NumShards == Shard.
+	Shard     int
+	NumShards int
 
 	// Crash-state accounting: states constructed, oracle checks actually
 	// run, and checks skipped by representative pruning (split by tier).
@@ -238,6 +299,7 @@ func (s *Stats) AvgDirtyBytes() int64 {
 // counters aggregates worker-side statistics.
 type counters struct {
 	tested, failed, errs          atomic.Int64
+	resumed                       atomic.Int64
 	statesTotal, statesChecked    atomic.Int64
 	statesPruned                  atomic.Int64
 	prunedDisk, prunedTree        atomic.Int64
@@ -246,6 +308,26 @@ type counters struct {
 	replayedWrites                atomic.Int64
 	profNS, replayNS, checkNS     atomic.Int64
 	dirtyTot, dirtyN, dirtyMax    atomic.Int64
+}
+
+// into copies the verdict and state counters into stats. Shared by the
+// live campaign path (fsRun.finish) and the corpus merge layer, so both
+// report through identical accounting.
+func (cnt *counters) into(stats *Stats) {
+	stats.Tested = cnt.tested.Load()
+	stats.Failed = cnt.failed.Load()
+	stats.Errors = cnt.errs.Load()
+	stats.Resumed = cnt.resumed.Load()
+	stats.StatesTotal = cnt.statesTotal.Load()
+	stats.StatesChecked = cnt.statesChecked.Load()
+	stats.StatesPruned = cnt.statesPruned.Load()
+	stats.PrunedDisk = cnt.prunedDisk.Load()
+	stats.PrunedTree = cnt.prunedTree.Load()
+	stats.ReorderStates = cnt.reorderStates.Load()
+	stats.ReorderChecked = cnt.reorderChecked.Load()
+	stats.ReorderPruned = cnt.reorderPruned.Load()
+	stats.ReorderBroken = cnt.reorderBroken.Load()
+	stats.ReplayedWrites = cnt.replayedWrites.Load()
 }
 
 // testShardHook, when non-nil, observes every corpus shard a campaign
@@ -293,38 +375,41 @@ func (r *fsRun) emit(rep *report.Report) {
 	r.mu.Unlock()
 }
 
-// foldRecord replays one recorded workload verdict into the run: state
-// counts and reports fold in even for workloads that later errored. Timing
-// and dirty-byte aggregates are deliberately not restored — records carry
-// verdicts, not durations — so Summary averages those over live workloads
-// only.
-func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
-	r.stats.Resumed++
-	r.cnt.statesTotal.Add(int64(rec.States))
-	r.cnt.reorderStates.Add(int64(rec.RStates))
-	r.cnt.reorderBroken.Add(int64(rec.RBroken))
-	r.cnt.replayedWrites.Add(rec.Replayed)
-	if r.cfg.NoPrune {
+// foldRecord replays one recorded workload verdict into counters and the
+// report stream: state counts and reports fold in even for workloads that
+// later errored. Timing and dirty-byte aggregates are deliberately not
+// restored — records carry verdicts, not durations — so Summary averages
+// those over live workloads only. Shared by campaign resume (fsRun) and the
+// multi-shard merge layer (MergeStats), so both fold through identical
+// accounting.
+func foldRecord(rec *corpus.WorkloadRecord, fsName string, noPrune bool,
+	cnt *counters, emit func(*report.Report)) {
+
+	cnt.statesTotal.Add(int64(rec.States))
+	cnt.reorderStates.Add(int64(rec.RStates))
+	cnt.reorderBroken.Add(int64(rec.RBroken))
+	cnt.replayedWrites.Add(rec.Replayed)
+	if noPrune {
 		// The shard may have been written with pruning on (prune mode is
 		// excluded from the config fingerprint on purpose). A no-prune run
 		// must keep its StatesChecked == StatesTotal invariant, so recorded
 		// prune-skips count as checked here — their verdicts were
 		// established, just via the cache.
-		r.cnt.statesChecked.Add(int64(rec.Checked) + int64(rec.Pruned))
-		r.cnt.reorderChecked.Add(int64(rec.RChecked) + int64(rec.RPruned))
+		cnt.statesChecked.Add(int64(rec.Checked) + int64(rec.Pruned))
+		cnt.reorderChecked.Add(int64(rec.RChecked) + int64(rec.RPruned))
 	} else {
-		r.cnt.statesChecked.Add(int64(rec.Checked))
-		r.cnt.statesPruned.Add(int64(rec.Pruned))
-		r.cnt.reorderChecked.Add(int64(rec.RChecked))
-		r.cnt.reorderPruned.Add(int64(rec.RPruned))
+		cnt.statesChecked.Add(int64(rec.Checked))
+		cnt.statesPruned.Add(int64(rec.Pruned))
+		cnt.reorderChecked.Add(int64(rec.RChecked))
+		cnt.reorderPruned.Add(int64(rec.RPruned))
 	}
 	if rec.Errored || rec.Verdict == corpus.VerdictError {
-		r.cnt.errs.Add(1)
+		cnt.errs.Add(1)
 	} else if rec.States > 0 {
-		r.cnt.tested.Add(1)
+		cnt.tested.Add(1)
 	}
 	if rec.Verdict == corpus.VerdictBuggy {
-		r.cnt.failed.Add(1)
+		cnt.failed.Add(1)
 	}
 	for _, rr := range rec.Reports {
 		findings := make([]crashmonkey.Finding, 0, len(rr.Findings))
@@ -339,8 +424,8 @@ func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
 		if skeleton == "" {
 			skeleton = rec.Skeleton
 		}
-		r.emit(&report.Report{
-			FSName:      r.cfg.FS.Name(),
+		emit(&report.Report{
+			FSName:      fsName,
 			WorkloadID:  rec.ID,
 			Skeleton:    skeleton,
 			Consequence: bugs.Consequence(rr.Primary),
@@ -348,6 +433,12 @@ func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
 			Workload:    rec.Workload,
 		})
 	}
+}
+
+// foldRecord replays one recorded workload verdict into the run (resume).
+func (r *fsRun) foldRecord(rec *corpus.WorkloadRecord) {
+	r.cnt.resumed.Add(1)
+	foldRecord(rec, r.cfg.FS.Name(), r.cfg.NoPrune, &r.cnt, r.emit)
 }
 
 // openCorpus opens (or resumes) the run's corpus shard.
@@ -362,15 +453,29 @@ func (r *fsRun) openCorpus() error {
 	}
 	// The key hashes the FULL config fingerprint (not just the bounds), so
 	// differently-configured campaigns never share — or truncate — each
-	// other's shard. The Meta check on resume still guards against hash
-	// collisions and hand-moved files.
+	// other's shard file; a residue class appends its identity as a
+	// readable suffix, so different shards of one campaign are separate
+	// files too. Unsharded campaigns keep the exact pre-sharding key —
+	// corpora written before the shard feature stay resumable. The Meta
+	// check on resume still guards against hash collisions and hand-moved
+	// files.
 	fph := fnv.New64a()
 	fph.Write([]byte(cfg.configFingerprint()))
 	key := fmt.Sprintf("%s__%s__%016x", cfg.FS.Name(), label, fph.Sum64())
+	if n := cfg.numShards(); n > 0 {
+		key = fmt.Sprintf("%s__s%dof%d", key, cfg.Shard, n)
+	}
+	sample := cfg.SampleEvery
+	if sample <= 1 {
+		sample = 0
+	}
 	meta := corpus.Meta{
-		FS:      cfg.FS.Name(),
-		Profile: label,
-		Bounds:  cfg.configFingerprint(),
+		FS:        cfg.FS.Name(),
+		Profile:   label,
+		Bounds:    cfg.configFingerprint(),
+		Shard:     cfg.Shard,
+		NumShards: cfg.numShards(),
+		Sample:    sample,
 	}
 	var err error
 	if cfg.Resume {
@@ -392,17 +497,24 @@ func (r *fsRun) openCorpus() error {
 }
 
 // generate enumerates the run's workload space, folding resumed records and
-// feeding untested workloads to the shared pool. Returns the generation
-// error, if any.
+// feeding untested workloads to the shared pool. When the campaign is
+// sharded, the ACE generator's residue-class partition restricts the stream
+// to this shard's workloads while keeping global sequence numbers (and the
+// full-space Generated count) intact. Returns the generation error, if any.
 func (r *fsRun) generate(jobs chan<- fsJob) error {
 	sample := r.cfg.SampleEvery
 	if sample <= 0 {
 		sample = 1
 	}
 	genStart := time.Now()
-	enumerated := int64(0)
-	generated, genErr := ace.New(r.cfg.Bounds).Generate(func(w *workload.Workload) bool {
-		if r.cfg.MaxWorkloads > 0 && enumerated >= r.cfg.MaxWorkloads {
+	gen := ace.New(r.cfg.Bounds)
+	shard, nShards := int64(r.cfg.Shard), int64(r.cfg.numShards())
+	if sample == 1 {
+		// Unsampled: the ace-level partition filters during enumeration.
+		gen.Shard, gen.NumShards = r.cfg.Shard, r.cfg.numShards()
+	}
+	generated, genErr := gen.GenerateSeq(func(seq int64, w *workload.Workload) bool {
+		if r.cfg.MaxWorkloads > 0 && seq > r.cfg.MaxWorkloads {
 			return false
 		}
 		// A failed corpus write fails the whole campaign; stop feeding it
@@ -410,17 +522,22 @@ func (r *fsRun) generate(jobs chan<- fsJob) error {
 		if r.corpusFailed.Load() {
 			return false
 		}
-		enumerated++
-		if enumerated%sample != 0 {
+		if seq%sample != 0 {
 			return true
 		}
-		if rec, ok := r.done[enumerated]; ok {
+		// Sampled + sharded: partition the sampled subsequence (workload
+		// sample·m → shard m mod n), not raw sequence numbers — raw
+		// residues starve when gcd(sample, n) > 1 (see Config.Shard).
+		if sample > 1 && nShards > 0 && (seq/sample)%nShards != shard {
+			return true
+		}
+		if rec, ok := r.done[seq]; ok {
 			r.foldRecord(rec)
 			return true
 		}
 		// Workloads are mutated downstream only via their own structures;
 		// each emitted workload is freshly built, so hand it off directly.
-		jobs <- fsJob{run: r, w: w, seq: enumerated}
+		jobs <- fsJob{run: r, w: w, seq: seq}
 		return true
 	})
 	r.stats.Generated = generated
@@ -436,28 +553,25 @@ func (r *fsRun) finish(start time.Time) error {
 	if r.corpusErr != nil {
 		return r.corpusErr
 	}
-	// Close explicitly so a failed final checkpoint surfaces instead of
-	// vanishing in the deferred (idempotent) Close.
+	stats, cnt := r.stats, &r.cnt
+	stats.Elapsed = time.Since(start)
+	// The campaign ran to completion: mark the shard mergeable, then close
+	// explicitly so a failed final checkpoint surfaces instead of vanishing
+	// in the deferred (idempotent) Close.
 	if r.shard != nil {
+		if err := r.shard.AppendDone(corpus.DoneRecord{
+			Generated: stats.Generated,
+			ElapsedNS: int64(stats.Elapsed),
+		}); err != nil {
+			return err
+		}
 		if err := r.shard.Close(); err != nil {
 			return err
 		}
 	}
-	stats, cnt := r.stats, &r.cnt
-	stats.Tested = cnt.tested.Load()
-	stats.Failed = cnt.failed.Load()
-	stats.Errors = cnt.errs.Load()
-	stats.StatesTotal = cnt.statesTotal.Load()
-	stats.StatesChecked = cnt.statesChecked.Load()
-	stats.StatesPruned = cnt.statesPruned.Load()
-	stats.PrunedDisk = cnt.prunedDisk.Load()
-	stats.PrunedTree = cnt.prunedTree.Load()
+	cnt.into(stats)
+	stats.Shard, stats.NumShards = r.cfg.Shard, r.cfg.numShards()
 	stats.ReorderBound = max(r.cfg.Reorder, 0)
-	stats.ReorderStates = cnt.reorderStates.Load()
-	stats.ReorderChecked = cnt.reorderChecked.Load()
-	stats.ReorderPruned = cnt.reorderPruned.Load()
-	stats.ReorderBroken = cnt.reorderBroken.Load()
-	stats.ReplayedWrites = cnt.replayedWrites.Load()
 	stats.BlocksRead = r.meter.BlocksRead.Load()
 	stats.BytesAllocated = r.meter.BytesAllocated.Load()
 	if r.cache != nil {
@@ -473,7 +587,6 @@ func (r *fsRun) finish(start time.Time) error {
 	stats.TotalDirty = cnt.dirtyTot.Load()
 	stats.DirtySample = cnt.dirtyN.Load()
 	stats.MaxDirty = cnt.dirtyMax.Load()
-	stats.Elapsed = time.Since(start)
 
 	stats.Groups = report.GroupReports(r.reports)
 	db := r.cfg.KnownDB
@@ -513,6 +626,17 @@ func Run(cfg Config) (*Stats, error) {
 func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 	if cfg.Resume && cfg.CorpusDir == "" {
 		return nil, fmt.Errorf("campaign: Resume requires CorpusDir")
+	}
+	if cfg.NumShards < 0 {
+		return nil, fmt.Errorf("campaign: negative shard count %d", cfg.NumShards)
+	}
+	if cfg.numShards() > 0 {
+		if cfg.Shard < 0 || cfg.Shard >= cfg.NumShards {
+			return nil, fmt.Errorf("campaign: shard %d outside residue range 0..%d",
+				cfg.Shard, cfg.NumShards-1)
+		}
+	} else if cfg.Shard != 0 {
+		return nil, fmt.Errorf("campaign: Shard %d set without NumShards", cfg.Shard)
 	}
 	if len(fss) == 0 {
 		if cfg.FS == nil {
@@ -566,6 +690,43 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 		}
 	}()
 
+	// Live progress: one ticker goroutine sums the atomic counters across
+	// rows and hands cumulative snapshots to the callback. Stopped (and
+	// waited for) before the final snapshot, so OnProgress is never called
+	// concurrently with itself.
+	var progressDone chan struct{}
+	snapshot := func() Progress {
+		p := Progress{Elapsed: time.Since(start)}
+		for _, r := range runs {
+			p.Workloads += r.cnt.tested.Load() + r.cnt.errs.Load()
+			p.States += r.cnt.statesTotal.Load() + r.cnt.reorderStates.Load()
+			p.ReplayedWrites += r.cnt.replayedWrites.Load()
+		}
+		return p
+	}
+	var progressStop chan struct{}
+	if cfg.OnProgress != nil {
+		every := cfg.ProgressEvery
+		if every <= 0 {
+			every = DefaultProgressEvery
+		}
+		progressStop = make(chan struct{})
+		progressDone = make(chan struct{})
+		go func() {
+			defer close(progressDone)
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					cfg.OnProgress(snapshot())
+				case <-progressStop:
+					return
+				}
+			}
+		}()
+	}
+
 	jobs := make(chan fsJob, 4*workers)
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -605,6 +766,11 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 	genWG.Wait()
 	close(jobs)
 	wg.Wait()
+	if cfg.OnProgress != nil {
+		close(progressStop)
+		<-progressDone
+		cfg.OnProgress(snapshot())
+	}
 
 	for i, r := range runs {
 		if genErrs[i] != nil {
@@ -739,13 +905,26 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 	record(rec)
 }
 
-// Summary renders the campaign outcome in a Table 4/Table 5 flavoured form.
-func (s *Stats) Summary() string {
+// headline renders the first Summary line: the shard-stable campaign
+// counters. MergeStats reuses it verbatim, which is what makes a merged
+// summary byte-identical to the unsharded run's on this line.
+func (s *Stats) headline() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "campaign on %s: %d workloads generated, %d tested, %d failing, %d groups",
 		s.FSName, s.Generated, s.Tested, s.Failed, len(s.Groups))
 	if len(s.KnownGroups) > 0 {
 		fmt.Fprintf(&sb, " (%d known, %d new)", len(s.KnownGroups), len(s.FreshGroups))
+	}
+	return sb.String()
+}
+
+// Summary renders the campaign outcome in a Table 4/Table 5 flavoured form.
+func (s *Stats) Summary() string {
+	var sb strings.Builder
+	sb.WriteString(s.headline())
+	if s.NumShards > 1 {
+		fmt.Fprintf(&sb, "\nshard %d/%d: this run tested only its residue class of the sweep (merge all %d with b3 -merge)",
+			s.Shard, s.NumShards, s.NumShards)
 	}
 	fmt.Fprintf(&sb, "\ncrash states: %d constructed, %d checked, %d pruned",
 		s.StatesTotal, s.StatesChecked, s.StatesPruned)

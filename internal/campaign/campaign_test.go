@@ -3,6 +3,7 @@ package campaign
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"b3/internal/ace"
 	"b3/internal/bugs"
@@ -731,5 +732,412 @@ func TestGroupingDeduplicates(t *testing.T) {
 	if stats.Failed <= int64(len(stats.Groups)) {
 		t.Fatalf("grouping should compress: %d failures -> %d groups",
 			stats.Failed, len(stats.Groups))
+	}
+}
+
+// shardedMergeVsUnsharded runs cfg unsharded, then once per residue class
+// 0..n-1 into dir, merges the shard corpora, and requires every
+// shard-stable counter — totals, bug groups, reorder states and broken
+// verdicts, replayed writes — to be identical to the unsharded run,
+// headline included (the byte-for-byte contract of b3 -merge).
+func shardedMergeVsUnsharded(t *testing.T, cfg Config, fss []filesys.FileSystem, n int) *Merge {
+	t.Helper()
+	unsharded, err := RunMatrix(cfg, fss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for shard := 0; shard < n; shard++ {
+		scfg := cfg
+		scfg.Shard, scfg.NumShards = shard, n
+		scfg.CorpusDir = dir
+		sm, err := RunMatrix(scfg, fss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every residue class must carry real work — the partition is
+		// computed over the sampled subsequence precisely so that no
+		// (sample, shards) pair starves a class.
+		for _, s := range sm.PerFS {
+			if s.Tested == 0 {
+				t.Fatalf("shard %d/%d on %s tested nothing (sample %d): starved residue class",
+					shard, n, s.FSName, cfg.SampleEvery)
+			}
+		}
+	}
+	merged, err := MergeDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != len(unsharded.PerFS) {
+		t.Fatalf("merge found %d file systems, campaign ran %d", len(merged.Rows), len(unsharded.PerFS))
+	}
+	for _, want := range unsharded.PerFS {
+		row := merged.ByFS(want.FSName)
+		if row == nil {
+			t.Fatalf("merge lost file system %s", want.FSName)
+		}
+		got := row.Stats
+		if row.ShardsMerged != n {
+			t.Fatalf("%s: merged %d shards, want %d", want.FSName, row.ShardsMerged, n)
+		}
+		if got.Generated != want.Generated || got.Tested != want.Tested ||
+			got.Failed != want.Failed || got.Errors != want.Errors {
+			t.Fatalf("%s: merged totals diverged:\nmerged:    gen=%d tested=%d failed=%d errors=%d\nunsharded: gen=%d tested=%d failed=%d errors=%d",
+				want.FSName, got.Generated, got.Tested, got.Failed, got.Errors,
+				want.Generated, want.Tested, want.Failed, want.Errors)
+		}
+		if got.StatesTotal != want.StatesTotal {
+			t.Fatalf("%s: merged states %d, unsharded %d", want.FSName, got.StatesTotal, want.StatesTotal)
+		}
+		if got.StatesChecked+got.StatesPruned != got.StatesTotal {
+			t.Fatalf("%s: merged state accounting broken: %d + %d != %d",
+				want.FSName, got.StatesChecked, got.StatesPruned, got.StatesTotal)
+		}
+		if got.ReorderStates != want.ReorderStates || got.ReorderBroken != want.ReorderBroken {
+			t.Fatalf("%s: merged reorder counters diverged: %d/%d vs %d/%d",
+				want.FSName, got.ReorderStates, got.ReorderBroken,
+				want.ReorderStates, want.ReorderBroken)
+		}
+		if got.ReplayedWrites != want.ReplayedWrites {
+			t.Fatalf("%s: merged replay counter %d, unsharded %d",
+				want.FSName, got.ReplayedWrites, want.ReplayedWrites)
+		}
+		assertSameGroups(t, got, want)
+		// The merged summary's headline is byte-identical to the unsharded
+		// run's: same counters through the same formatter.
+		if gh, wh := got.headline(), want.headline(); gh != wh {
+			t.Fatalf("%s: merged headline diverged:\n%q\nvs\n%q", want.FSName, gh, wh)
+		}
+		if !strings.HasPrefix(row.Summary(), want.headline()+"\n") {
+			t.Fatalf("%s: merged summary does not open with the unsharded headline:\n%s",
+				want.FSName, row.Summary())
+		}
+	}
+	return merged
+}
+
+// TestShardUnionMatchesUnsharded is the acceptance gate for sharded
+// campaigns: the deterministic residue-class partition plus the merge
+// layer must reconstruct the unsharded campaign exactly — on seq-1 across
+// every registered backend (with a k=1 reorder sweep riding along) and on
+// a sampled seq-2 space.
+func TestShardUnionMatchesUnsharded(t *testing.T) {
+	names := fsmake.Names()
+	if testing.Short() {
+		names = []string{"logfs", "diskfmt"}
+	}
+	var fss []filesys.FileSystem
+	for _, name := range names {
+		fs, err := fsmake.NewBugsOnly(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fss = append(fss, fs)
+	}
+	merged := shardedMergeVsUnsharded(t, Config{Bounds: ace.Default(1), Reorder: 1}, fss, 2)
+	if row := merged.ByFS("logfs"); row == nil || row.Stats.Failed == 0 {
+		t.Fatal("merged seq-1 logfs row must carry the single-op bugs")
+	}
+	for _, name := range names {
+		if !strings.Contains(merged.Summary(), name) {
+			t.Fatalf("merged summary misses %s:\n%s", name, merged.Summary())
+		}
+	}
+
+	// Sampled seq-2: sharding composes with SampleEvery — the union of the
+	// shards is the sampled sweep. gcd(sample, shards) = 2 here on
+	// purpose: partitioning raw sequence numbers would leave shard 1 with
+	// no sample multiples at all (the starvation bug the sampled-index
+	// partition exists to prevent); the balance assertion in the helper
+	// catches any regression.
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := Config{
+		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery: 4,
+	}
+	merged = shardedMergeVsUnsharded(t, sampled, []filesys.FileSystem{fs}, 2)
+	if row := merged.ByFS("logfs"); row.Stats.Failed == 0 {
+		t.Fatal("merged sampled seq-2 row must carry the link bugs")
+	}
+}
+
+// TestShardResumeAndIsolation: a killed shard resumes into the same corpus
+// shard and still merges to the unsharded totals; a different residue
+// class never reuses its records.
+func TestShardResumeAndIsolation(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery: 4,
+		FS:          fs,
+	}
+	unsharded, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	// Shard 0 of 2 "killed" partway (generation bounded), then resumed to
+	// completion; shard 1 runs uninterrupted.
+	partial := base
+	partial.Shard, partial.NumShards = 0, 2
+	partial.CorpusDir = dir
+	partial.MaxWorkloads = unsharded.Generated / 3
+	partial.CheckpointEvery = 8
+	if _, err := Run(partial); err != nil {
+		t.Fatal(err)
+	}
+	resumed := partial
+	resumed.MaxWorkloads = 0
+	resumed.Resume = true
+	stats, err := Run(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed == 0 {
+		t.Fatal("shard resume folded in no recorded workloads")
+	}
+	other := base
+	other.Shard, other.NumShards = 1, 2
+	other.CorpusDir = dir
+	other.Resume = true // nothing recorded for this class: a plain start
+	otherStats, err := Run(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if otherStats.Resumed != 0 {
+		t.Fatalf("residue class 1 reused %d of class 0's records", otherStats.Resumed)
+	}
+
+	merged, err := MergeDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := merged.ByFS("logfs").Stats
+	if got.Tested != unsharded.Tested || got.Failed != unsharded.Failed ||
+		got.StatesTotal != unsharded.StatesTotal {
+		t.Fatalf("killed-and-resumed shard union diverged: tested=%d failed=%d states=%d, want %d/%d/%d",
+			got.Tested, got.Failed, got.StatesTotal,
+			unsharded.Tested, unsharded.Failed, unsharded.StatesTotal)
+	}
+	assertSameGroups(t, got, unsharded)
+}
+
+// TestMergeRefusesMisuse: merging must fail loudly — naming the problem —
+// on an incomplete shard set, an unfinished shard, and a directory mixing
+// differently-configured campaigns.
+func TestMergeRefusesMisuse(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:          fs,
+		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery: 8,
+	}
+
+	// Only shard 0 of 2 present.
+	dir := t.TempDir()
+	cfg := base
+	cfg.Shard, cfg.NumShards = 0, 2
+	cfg.CorpusDir = dir
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeDir(dir, nil); err == nil || !strings.Contains(err.Error(), "1 of 2 shards") {
+		t.Fatalf("incomplete shard set not refused: %v", err)
+	}
+
+	// A shard whose campaign never finished (killed before the completion
+	// marker) must not merge.
+	dir = t.TempDir()
+	killedCfg := base
+	killedCfg.CorpusDir = dir
+	killedCfg.CheckpointEvery = 1
+	killed := make(chan *corpus.Shard, 1)
+	testShardHook = func(s *corpus.Shard) { killed <- s }
+	go func() { (<-killed).Kill() }()
+	_, runErr := Run(killedCfg)
+	testShardHook = nil
+	if runErr == nil {
+		t.Fatal("killed corpus did not fail the campaign")
+	}
+	if _, err := MergeDir(dir, nil); err == nil || !strings.Contains(err.Error(), "incomplete") {
+		t.Fatalf("unfinished shard not refused: %v", err)
+	}
+
+	// Two differently-configured campaigns for one FS in one directory:
+	// refused with a knob-naming diff.
+	dir = t.TempDir()
+	a := base
+	a.CorpusDir = dir
+	if _, err := Run(a); err != nil {
+		t.Fatal(err)
+	}
+	b := base
+	b.CorpusDir = dir
+	b.SampleEvery = 16
+	if _, err := Run(b); err != nil {
+		t.Fatal(err)
+	}
+	_, err = MergeDir(dir, nil)
+	if err == nil || !strings.Contains(err.Error(), "sample") {
+		t.Fatalf("mixed-campaign merge error does not name the differing knob: %v", err)
+	}
+}
+
+// TestMergeOfUnshardedCorpus: b3 -merge on a plain (unsharded) corpus
+// directory reprints the campaign without re-running it.
+func TestMergeOfUnshardedCorpus(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	cfg := Config{
+		FS:          fs,
+		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery: 8,
+		CorpusDir:   dir,
+	}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := merged.ByFS("logfs")
+	if row == nil || row.ShardsMerged != 1 {
+		t.Fatalf("unsharded corpus merged as %+v", row)
+	}
+	if row.Stats.Tested != want.Tested || row.Stats.Failed != want.Failed ||
+		row.Stats.Generated != want.Generated {
+		t.Fatalf("reloaded totals diverged: %d/%d/%d want %d/%d/%d",
+			row.Stats.Generated, row.Stats.Tested, row.Stats.Failed,
+			want.Generated, want.Tested, want.Failed)
+	}
+	assertSameGroups(t, row.Stats, want)
+}
+
+// TestProgressReporting: OnProgress receives monotonic cumulative
+// snapshots while the campaign runs, and a final snapshot reflecting the
+// finished totals.
+func TestProgressReporting(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps []Progress
+	stats, err := Run(Config{
+		FS:            fs,
+		Bounds:        ace.Default(1),
+		ProgressEvery: time.Millisecond,
+		OnProgress:    func(p Progress) { snaps = append(snaps, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Workloads < snaps[i-1].Workloads || snaps[i].States < snaps[i-1].States ||
+			snaps[i].ReplayedWrites < snaps[i-1].ReplayedWrites {
+			t.Fatalf("snapshot %d regressed: %+v after %+v", i, snaps[i], snaps[i-1])
+		}
+	}
+	final := snaps[len(snaps)-1]
+	if final.Workloads != stats.Tested+stats.Errors {
+		t.Fatalf("final snapshot saw %d workloads, campaign finished %d",
+			final.Workloads, stats.Tested+stats.Errors)
+	}
+	if final.States != stats.StatesTotal+stats.ReorderStates {
+		t.Fatalf("final snapshot saw %d states, campaign constructed %d",
+			final.States, stats.StatesTotal+stats.ReorderStates)
+	}
+	if final.ReplayedWrites != stats.ReplayedWrites {
+		t.Fatalf("final snapshot saw %d replayed writes, campaign counted %d",
+			final.ReplayedWrites, stats.ReplayedWrites)
+	}
+}
+
+// TestShardConfigValidation: malformed shard configurations are refused
+// before any work happens.
+func TestShardConfigValidation(t *testing.T) {
+	fs, err := fsmake.Fixed("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ shard, n int }{{2, 2}, {-1, 3}, {0, -2}, {1, 0}} {
+		cfg := Config{FS: fs, Bounds: ace.Default(1), Shard: tc.shard, NumShards: tc.n}
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("shard %d/%d accepted", tc.shard, tc.n)
+		}
+	}
+}
+
+// TestMergeMultipleProfiles: one corpus directory may hold several
+// profiles per file system (the -find-new-bugs layout: one shard per
+// (fs, profile) pair); the merge folds each into its own row instead of
+// refusing, and merged rows never claim to be residue classes.
+func TestMergeMultipleProfiles(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seq1 := Config{FS: fs, Bounds: ace.Default(1), CorpusDir: dir, ProfileLabel: "seq-1"}
+	wantSeq1, err := Run(seq1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2 := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  8,
+		CorpusDir:    dir,
+		ProfileLabel: "seq-2",
+	}
+	wantSeq2, err := Run(seq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	merged, err := MergeDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Rows) != 2 {
+		t.Fatalf("want one row per profile, got %d", len(merged.Rows))
+	}
+	byProfile := map[string]*MergeRow{}
+	for _, r := range merged.Rows {
+		byProfile[r.Profile] = r
+	}
+	if r := byProfile["seq-1"]; r == nil || r.Stats.Failed != wantSeq1.Failed {
+		t.Fatalf("seq-1 row wrong: %+v", r)
+	}
+	if r := byProfile["seq-2"]; r == nil || r.Stats.Failed != wantSeq2.Failed {
+		t.Fatalf("seq-2 row wrong: %+v", r)
+	}
+	for _, r := range merged.Rows {
+		// A merged row covers the whole sweep: it must not carry the
+		// per-shard residue-class warning.
+		if strings.Contains(r.Stats.Summary(), "residue class") {
+			t.Fatalf("merged row claims to be a residue class:\n%s", r.Stats.Summary())
+		}
+	}
+	if !strings.Contains(merged.Summary(), "seq-1") || !strings.Contains(merged.Summary(), "seq-2") {
+		t.Fatalf("merged table misses a profile:\n%s", merged.Summary())
 	}
 }

@@ -58,9 +58,128 @@ type Meta struct {
 	FS string `json:"fs"`
 	// Profile is the human-chosen profile name, if any.
 	Profile string `json:"profile,omitempty"`
-	// Bounds fingerprints the exact ACE workload space, so a shard cannot
-	// be resumed against a different generation order.
+	// Bounds fingerprints the exact ACE workload space and testing knobs,
+	// so a shard cannot be resumed against a different generation order or
+	// a configuration that would change recorded verdicts. The campaign
+	// layer renders it as pipe-separated segments (workload-space hash
+	// first, then knob=value pairs), which DiffMeta exploits to name the
+	// offending knob on a mismatch.
 	Bounds string `json:"bounds"`
+	// Shard and NumShards record the residue class of a partitioned
+	// campaign. Zero values mean an unsharded campaign; shards written
+	// before these fields load as unsharded. The merge layer folds a
+	// complete residue system 0..NumShards-1 back into one campaign.
+	Shard     int `json:"shard,omitempty"`
+	NumShards int `json:"numShards,omitempty"`
+	// Sample records the campaign's sampling stride (0 or 1 = every
+	// workload). It defines the partitioned index the residue class is
+	// computed over: workload seq = Sample·m belongs to shard
+	// m mod NumShards, so shards stay balanced for any (Sample,
+	// NumShards) pair.
+	Sample int64 `json:"sample,omitempty"`
+}
+
+// SampleOrOne returns the recorded sampling stride, normalized.
+func (m Meta) SampleOrOne() int64 {
+	if m.Sample <= 0 {
+		return 1
+	}
+	return m.Sample
+}
+
+// ShardLabel renders the residue-class identity ("2/5", or "" when
+// unsharded).
+func (m Meta) ShardLabel() string {
+	if m.NumShards <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", m.Shard, m.NumShards)
+}
+
+// MetaMismatchError reports a shard whose recorded Meta does not match the
+// campaign (or merge) trying to consume it. Its message carries both full
+// fingerprints plus a knob-by-knob diff, so hand-moved shards and
+// mis-configured resumes are self-diagnosing.
+type MetaMismatchError struct {
+	Path      string
+	Got, Want Meta
+}
+
+func (e *MetaMismatchError) Error() string {
+	return fmt.Sprintf(
+		"corpus: shard %s records fs=%q bounds=%q shard=%q format=%d; campaign wants fs=%q bounds=%q shard=%q format=%d (%s)",
+		e.Path, e.Got.FS, e.Got.Bounds, e.Got.ShardLabel(), e.Got.Format,
+		e.Want.FS, e.Want.Bounds, e.Want.ShardLabel(), FormatVersion,
+		DiffMeta(e.Got, e.Want))
+}
+
+// DiffMeta names what differs between two shard Metas in knob terms. The
+// campaign config fingerprint is pipe-separated — the workload-space hash
+// first, then "knob=value" segments — so the diff can name the exact knob
+// ("sample: shard has 3, campaign wants 7") instead of leaving the caller
+// to eyeball two opaque strings.
+func DiffMeta(got, want Meta) string {
+	var diffs []string
+	if got.FS != want.FS {
+		diffs = append(diffs, fmt.Sprintf("fs: shard has %q, campaign wants %q", got.FS, want.FS))
+	}
+	diffs = append(diffs, diffBounds(got.Bounds, want.Bounds)...)
+	if got.Shard != want.Shard || got.NumShards != want.NumShards {
+		diffs = append(diffs, fmt.Sprintf("shard: shard file is %s, campaign wants %s",
+			orUnsharded(got.ShardLabel()), orUnsharded(want.ShardLabel())))
+	}
+	if got.Format != FormatVersion {
+		diffs = append(diffs, fmt.Sprintf("format: shard has %d, this build writes %d", got.Format, FormatVersion))
+	}
+	if len(diffs) == 0 {
+		return "identical"
+	}
+	return strings.Join(diffs, "; ")
+}
+
+func orUnsharded(label string) string {
+	if label == "" {
+		return "unsharded"
+	}
+	return label
+}
+
+// diffBounds splits two fingerprint strings into their pipe-separated
+// segments and names each differing one. Segments of the form "k=v" are
+// knobs; a bare segment is the workload-space hash.
+func diffBounds(got, want string) []string {
+	if got == want {
+		return nil
+	}
+	type seg struct{ key, val string }
+	parse := func(s string) []seg {
+		var out []seg
+		for _, part := range strings.Split(s, "|") {
+			if k, v, ok := strings.Cut(part, "="); ok {
+				out = append(out, seg{k, v})
+			} else {
+				out = append(out, seg{"workload space", part})
+			}
+		}
+		return out
+	}
+	gs, ws := parse(got), parse(want)
+	if len(gs) != len(ws) {
+		// Different fingerprint layouts (e.g. a shard written by an older
+		// build): the full strings in the message are all we can say.
+		return []string{"fingerprint layouts differ"}
+	}
+	var diffs []string
+	for i := range gs {
+		if gs[i].key != ws[i].key {
+			return []string{"fingerprint layouts differ"}
+		}
+		if gs[i].val != ws[i].val {
+			diffs = append(diffs, fmt.Sprintf("%s: shard has %s, campaign wants %s",
+				gs[i].key, gs[i].val, ws[i].val))
+		}
+	}
+	return diffs
 }
 
 // Finding mirrors crashmonkey.Finding for persistence. Consequence is the
@@ -122,10 +241,26 @@ type WorkloadRecord struct {
 	Reports  []ReportRecord `json:"reports,omitempty"`
 }
 
+// DoneRecord marks a campaign (shard) that ran its generation and testing
+// to completion. The merge layer refuses shards without one: folding a
+// half-finished shard would silently under-report the campaign. Appended
+// on every clean campaign finish, so a resumed-to-completion shard carries
+// one too (the last wins on load).
+type DoneRecord struct {
+	// Generated is the campaign's full enumeration count (the workload
+	// space is enumerated entirely even by sharded and sampled runs, so
+	// every complete shard of one campaign records the same number).
+	Generated int64 `json:"generated"`
+	// ElapsedNS is the shard's wall-clock in nanoseconds (informational;
+	// merge reports the slowest shard as the sharded wall-clock).
+	ElapsedNS int64 `json:"elapsedNs,omitempty"`
+}
+
 // line is the JSONL envelope: exactly one field is set per line.
 type line struct {
 	Meta     *Meta           `json:"meta,omitempty"`
 	Workload *WorkloadRecord `json:"workload,omitempty"`
+	Done     *DoneRecord     `json:"done,omitempty"`
 }
 
 // ShardPath returns the file a campaign key is stored under.
@@ -224,7 +359,7 @@ func Resume(dir, key string, meta Meta) (*Shard, map[int64]*WorkloadRecord, erro
 		return nil, nil, err
 	}
 	// The lock is held, so the contents are stable from here on.
-	got, records, validLen, err := load(path)
+	loaded, err := loadShard(path)
 	if errors.Is(err, ErrNoMeta) {
 		// Never started, or killed before the meta record reached disk
 		// (in which case no workload record can exist either): start fresh.
@@ -235,11 +370,11 @@ func Resume(dir, key string, meta Meta) (*Shard, map[int64]*WorkloadRecord, erro
 		f.Close()
 		return nil, nil, err
 	}
-	if got.FS != meta.FS || got.Bounds != meta.Bounds || got.Format != FormatVersion {
+	got, records, validLen := loaded.Meta, loaded.Records, loaded.validLen
+	if got.FS != meta.FS || got.Bounds != meta.Bounds || got.Format != FormatVersion ||
+		got.Shard != meta.Shard || got.NumShards != meta.NumShards {
 		f.Close()
-		return nil, nil, fmt.Errorf(
-			"corpus: shard %s records fs=%q bounds=%q format=%d; campaign wants fs=%q bounds=%q format=%d",
-			path, got.FS, got.Bounds, got.Format, meta.FS, meta.Bounds, FormatVersion)
+		return nil, nil, &MetaMismatchError{Path: path, Got: *got, Want: meta}
 	}
 	// Drop the torn tail (if any) so appends start on a line boundary.
 	if err := f.Truncate(validLen); err != nil {
@@ -258,25 +393,68 @@ func Resume(dir, key string, meta Meta) (*Shard, map[int64]*WorkloadRecord, erro
 	return s, done, nil
 }
 
+// LoadedShard is one shard corpus read from disk: its binding Meta, every
+// workload record, and the completion marker (nil for a shard whose
+// campaign never finished).
+type LoadedShard struct {
+	Path    string
+	Meta    *Meta
+	Records []*WorkloadRecord
+	// Done is the last completion marker, nil if the campaign was killed
+	// (or is still running) — such a shard is resumable but not mergeable.
+	Done *DoneRecord
+	// validLen is the byte length of the complete-line prefix, which
+	// Resume uses to truncate a torn tail before appending.
+	validLen int64
+}
+
 // Load reads a shard from disk. The final line may be torn (a crashed
 // writer); it is ignored. Later duplicates of a sequence number win, so a
 // record re-tested after a partially flushed run supersedes the original.
 func Load(path string) (*Meta, []*WorkloadRecord, error) {
-	meta, records, _, err := load(path)
-	return meta, records, err
+	s, err := loadShard(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.Meta, s.Records, nil
 }
 
-// load is Load plus the byte length of the complete-line prefix, which
-// Resume uses to truncate a torn tail before appending.
-func load(path string) (*Meta, []*WorkloadRecord, int64, error) {
+// LoadShard is Load returning the full shard view, completion marker
+// included.
+func LoadShard(path string) (*LoadedShard, error) { return loadShard(path) }
+
+// LoadDir loads every ".jsonl" shard directly under dir, sorted by file
+// name. It is the read side of a sharded (or multi-FS) campaign directory;
+// campaign.MergeStats folds the result back into one set of statistics.
+func LoadDir(dir string) ([]*LoadedShard, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %w", err)
+	}
+	var shards []*LoadedShard
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".jsonl") {
+			continue
+		}
+		s, err := loadShard(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		shards = append(shards, s)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("corpus: %s holds no .jsonl shard", dir)
+	}
+	return shards, nil
+}
+
+func loadShard(path string) (*LoadedShard, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, 0, err
+		return nil, err
 	}
-	var meta *Meta
-	var records []*WorkloadRecord
+	s := &LoadedShard{Path: path}
 	rest := data
-	validLen := int64(0)
 	for len(rest) > 0 {
 		var raw []byte
 		if i := bytes.IndexByte(rest, '\n'); i >= 0 {
@@ -286,7 +464,7 @@ func load(path string) (*Meta, []*WorkloadRecord, int64, error) {
 			break
 		}
 		if len(bytes.TrimSpace(raw)) == 0 {
-			validLen += int64(len(raw)) + 1
+			s.validLen += int64(len(raw)) + 1
 			continue
 		}
 		var l line
@@ -297,23 +475,29 @@ func load(path string) (*Meta, []*WorkloadRecord, int64, error) {
 			if len(bytes.TrimSpace(rest)) == 0 {
 				break
 			}
-			return nil, nil, 0, fmt.Errorf("corpus: %s: corrupt record: %w", path, err)
+			return nil, fmt.Errorf("corpus: %s: corrupt record: %w", path, err)
 		}
-		validLen += int64(len(raw)) + 1
+		s.validLen += int64(len(raw)) + 1
 		switch {
 		case l.Meta != nil:
-			if meta != nil {
-				return nil, nil, 0, fmt.Errorf("corpus: %s: duplicate meta record", path)
+			if s.Meta != nil {
+				return nil, fmt.Errorf("corpus: %s: duplicate meta record", path)
 			}
-			meta = l.Meta
+			s.Meta = l.Meta
 		case l.Workload != nil:
-			records = append(records, l.Workload)
+			s.Records = append(s.Records, l.Workload)
+			// A workload record after a completion marker means the shard
+			// was resumed past its recorded end (e.g. with a higher
+			// workload cap) and not finished again: the marker is stale.
+			s.Done = nil
+		case l.Done != nil:
+			s.Done = l.Done
 		}
 	}
-	if meta == nil {
-		return nil, nil, 0, fmt.Errorf("%w: %s", ErrNoMeta, path)
+	if s.Meta == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoMeta, path)
 	}
-	return meta, records, validLen, nil
+	return s, nil
 }
 
 // Path returns the shard's file path.
@@ -322,6 +506,13 @@ func (s *Shard) Path() string { return s.path }
 // Append records one workload outcome. Safe for concurrent use.
 func (s *Shard) Append(rec *WorkloadRecord) error {
 	return s.appendLine(line{Workload: rec})
+}
+
+// AppendDone records the campaign's completion marker. Call once after the
+// last workload record; the merge layer treats shards without one as
+// incomplete and refuses to fold them.
+func (s *Shard) AppendDone(d DoneRecord) error {
+	return s.appendLine(line{Done: &d})
 }
 
 func (s *Shard) appendLine(l line) error {

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -317,5 +318,165 @@ func TestShardKeySanitized(t *testing.T) {
 	base := filepath.Base(p)
 	if strings.ContainsAny(base, "/| ") {
 		t.Fatalf("unsafe shard name %q", base)
+	}
+}
+
+// TestMetaMismatchNamesKnob: a fingerprint mismatch on resume must be
+// self-diagnosing — the error carries both full fingerprints and names the
+// exact knob (or the workload space) that differs.
+func TestMetaMismatchNamesKnob(t *testing.T) {
+	dir := t.TempDir()
+	recorded := testMeta() // bounds "...|sample=1|final=false|writechecks=true"
+	s, err := Create(dir, "mismatch", recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := recorded
+	want.Bounds = "abc123|sample=7|final=false|writechecks=true"
+	_, _, err = Resume(dir, "mismatch", want)
+	if err == nil {
+		t.Fatal("sample mismatch accepted")
+	}
+	var mm *MetaMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("want *MetaMismatchError, got %T: %v", err, err)
+	}
+	msg := err.Error()
+	for _, needle := range []string{
+		"sample: shard has 1, campaign wants 7", // the offending knob, by name
+		recorded.Bounds, want.Bounds,            // both full fingerprints
+	} {
+		if !strings.Contains(msg, needle) {
+			t.Fatalf("mismatch message misses %q:\n%s", needle, msg)
+		}
+	}
+
+	// A different workload space (the hash segment) is named as such.
+	want = recorded
+	want.Bounds = "ffff99|sample=1|final=false|writechecks=true"
+	_, _, err = Resume(dir, "mismatch", want)
+	if err == nil || !strings.Contains(err.Error(), "workload space") {
+		t.Fatalf("space mismatch not named: %v", err)
+	}
+
+	// A shard-identity mismatch (hand-moved residue-class file) too.
+	want = recorded
+	want.Shard, want.NumShards = 1, 4
+	_, _, err = Resume(dir, "mismatch", want)
+	if err == nil || !strings.Contains(err.Error(), "shard: shard file is unsharded, campaign wants 1/4") {
+		t.Fatalf("shard mismatch not named: %v", err)
+	}
+}
+
+// TestDoneRecordLifecycle: the completion marker survives a round-trip,
+// goes stale when records follow it (a resumed-but-unfinished shard), and
+// is restored by the next completion.
+func TestDoneRecordLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "done", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(1, VerdictClean)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDone(DoneRecord{Generated: 10, ElapsedNS: 5e9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadShard(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Done == nil || loaded.Done.Generated != 10 || loaded.Done.ElapsedNS != 5e9 {
+		t.Fatalf("done marker mangled: %+v", loaded.Done)
+	}
+
+	// Resume past the recorded end without finishing: the marker is stale
+	// and must read as absent.
+	s2, _, err := Resume(dir, "done", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(rec(2, VerdictClean)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = LoadShard(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Done != nil {
+		t.Fatalf("stale completion marker survived a resumed append: %+v", loaded.Done)
+	}
+
+	// Finishing again restores it, with the latest value winning.
+	s3, _, err := Resume(dir, "done", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.AppendDone(DoneRecord{Generated: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err = LoadShard(s.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Done == nil || loaded.Done.Generated != 12 {
+		t.Fatalf("refreshed completion marker wrong: %+v", loaded.Done)
+	}
+	if len(loaded.Records) != 2 {
+		t.Fatalf("want 2 records, got %d", len(loaded.Records))
+	}
+}
+
+// TestLoadDir: every .jsonl shard under a directory loads, sorted by file
+// name; an empty directory is an error.
+func TestLoadDir(t *testing.T) {
+	dir := t.TempDir()
+	for i, key := range []string{"b_shard", "a_shard"} {
+		m := testMeta()
+		m.Shard, m.NumShards = i, 2
+		s, err := Create(dir, key, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(rec(int64(i+1), VerdictClean)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("ignored"), 0o644)
+
+	shards, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 2 {
+		t.Fatalf("want 2 shards, got %d", len(shards))
+	}
+	if !strings.HasSuffix(shards[0].Path, "a_shard.jsonl") {
+		t.Fatalf("shards not name-sorted: %s first", shards[0].Path)
+	}
+	if shards[0].Meta.ShardLabel() != "1/2" || shards[1].Meta.ShardLabel() != "0/2" {
+		t.Fatalf("shard identities mangled: %s / %s",
+			shards[0].Meta.ShardLabel(), shards[1].Meta.ShardLabel())
+	}
+
+	if _, err := LoadDir(t.TempDir()); err == nil {
+		t.Fatal("empty directory accepted")
 	}
 }

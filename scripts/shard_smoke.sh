@@ -1,0 +1,58 @@
+#!/usr/bin/env sh
+# shard_smoke.sh — the sharded-campaign equivalence smoke: run both residue
+# classes of a two-way sharded seq-1 matrix campaign (every backend) into a
+# corpus directory, fold them with `b3 -merge`, and diff the merged
+# shard-stable counters (generated / tested / failing / groups / new /
+# states / reorder / r-broken) against an unsharded run of the identical
+# configuration. Any divergence means the partition or the merge fold is
+# broken, and the job fails.
+#
+# Usage: scripts/shard_smoke.sh [workdir]
+set -eu
+cd "$(dirname "$0")/.."
+work="${1:-$(mktemp -d)}"
+corpus="$work/shards"
+mkdir -p "$corpus"
+
+echo "== shard 0/2 and 1/2: seq-1, all backends" >&2
+go run ./cmd/b3 -profile seq-1 -fs all -shard 0/2 -corpus "$corpus" >"$work/shard0.out"
+go run ./cmd/b3 -profile seq-1 -fs all -shard 1/2 -corpus "$corpus" >"$work/shard1.out"
+
+echo "== merge" >&2
+go run ./cmd/b3 -merge "$corpus" >"$work/merged.out"
+
+echo "== unsharded baseline" >&2
+go run ./cmd/b3 -profile seq-1 -fs all >"$work/unsharded.out"
+
+# Extract the per-FS stable counters from each table — every data row
+# between the dashed separator and the following blank line, so newly
+# registered backends join the comparison automatically. The merged table is
+#   fs profile shards generated tested failing groups new states reorder r-broken replayed
+# and the matrix table is
+#   fs generated tested failing groups new states pruned% evicted rw/state reorder r-broken
+# so pick the shared columns by position and normalize both to
+#   fs generated tested failing groups new states reorder r-broken
+# (a column added to either table misaligns the picks and the diff below
+# fails loudly rather than passing vacuously).
+table_rows='$1 ~ /^-+$/ {t=1; next} t && NF == 0 {t=0} t'
+awk "$table_rows"' {print $1, $4, $5, $6, $7, $8, $9, $10, $11}' \
+  "$work/merged.out" | sort >"$work/merged.counters"
+awk "$table_rows"' {print $1, $2, $3, $4, $5, $6, $7, $11, $12}' \
+  "$work/unsharded.out" | sort >"$work/unsharded.counters"
+
+echo "== merged counters" >&2
+cat "$work/merged.counters" >&2
+# Guard against a vacuous pass: the seq-1 matrix always holds at least the
+# five seed backends; fewer extracted rows means the table parse broke.
+for f in "$work/merged.counters" "$work/unsharded.counters"; do
+  rows=$(wc -l <"$f")
+  if [ "$rows" -lt 5 ]; then
+    echo "shard_smoke: $f holds only $rows rows, want every backend (>= 5) — table format drifted? fix the awk extraction" >&2
+    exit 1
+  fi
+done
+if ! diff -u "$work/unsharded.counters" "$work/merged.counters"; then
+  echo "shard_smoke: merged shard counters diverge from the unsharded run" >&2
+  exit 1
+fi
+echo "shard_smoke: merged counters match the unsharded campaign" >&2
