@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"b3/internal/ace"
+	"b3/internal/blockdev"
 	"b3/internal/bugs"
 	"b3/internal/campaign"
 	"b3/internal/crashmonkey"
@@ -54,7 +55,27 @@ type (
 	Group = report.Group
 	// ProfileName selects a Table 4 workload set.
 	ProfileName = ace.ProfileName
+	// FaultKind is one orthogonal fault-injection axis (torn, corrupt,
+	// misdirect).
+	FaultKind = blockdev.FaultKind
+	// FaultModel selects which fault axes a campaign sweeps and the torn
+	// sector granularity.
+	FaultModel = blockdev.FaultModel
 )
+
+// Fault-injection axes (the orthogonal counterpart to bounded reordering):
+// torn writes land a sector-granularity prefix of one block write, corrupt
+// writes land zeroed or bit-flipped, misdirected writes land on the wrong
+// in-range block.
+const (
+	FaultTorn      = blockdev.FaultTorn
+	FaultCorrupt   = blockdev.FaultCorrupt
+	FaultMisdirect = blockdev.FaultMisdirect
+)
+
+// ParseFaultKinds parses a comma-separated fault-kind list ("torn,corrupt,
+// misdirect") into canonical deduplicated order, as the -faults flag does.
+func ParseFaultKinds(s string) ([]FaultKind, error) { return blockdev.ParseFaultKinds(s) }
 
 // Profiles lists the Table 4 workload sets in paper order.
 func Profiles() []ProfileName { return ace.Profiles() }
@@ -190,6 +211,13 @@ type Campaign struct {
 	// Reorder writes dropped, judged for recoverability and deduplicated
 	// through the prune cache. 0 disables the sweep.
 	Reorder int
+	// Faults, when enabled (non-empty Kinds), additionally sweeps every
+	// workload's fault-injection crash states — the orthogonal axis to
+	// Reorder: torn, corrupted, and misdirected writes, each an exactly
+	// counted deterministic enumeration judged for recoverability through
+	// the same prune cache (verdicts salted per kind). SectorSize sets the
+	// torn granularity (0 = 512 bytes; must divide the 4096-byte block).
+	Faults FaultModel
 	// NoPrune disables representative crash-state pruning — the
 	// cross-check mode: identical bug verdicts, every state checked.
 	NoPrune bool
@@ -276,6 +304,7 @@ func (c Campaign) config() (campaign.Config, error) {
 		ProgressEvery: c.ProgressEvery,
 		FinalOnly:     c.FinalOnly,
 		Reorder:       c.Reorder,
+		Faults:        c.Faults,
 		NoPrune:       c.NoPrune,
 		ScratchStates: c.ScratchStates,
 		PruneCap:      c.PruneCap,

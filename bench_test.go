@@ -556,6 +556,52 @@ func BenchmarkAblationReorderExploration(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationFaultExploration measures the orthogonal fault axis —
+// the torn / corrupt / misdirect iterators — per kind, with and without
+// verdict deduplication, incremental vs from-scratch construction. Broken
+// states are a metric here, not a failure: fault sweeps probe the design's
+// fault envelope, which crash-consistency guarantees do not cover.
+func BenchmarkAblationFaultExploration(b *testing.B) {
+	fs, _ := fsmake.Fixed("logfs")
+	w := mustParse(b, "faults", constructWorkload)
+	kinds := []blockdev.FaultKind{blockdev.FaultTorn, blockdev.FaultCorrupt, blockdev.FaultMisdirect}
+	for _, engine := range []struct {
+		name    string
+		scratch bool
+	}{{"incremental", false}, {"scratch", true}} {
+		for _, kind := range kinds {
+			for _, pruned := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%s/pruned=%t", engine.name, kind, pruned)
+				b.Run(name, func(b *testing.B) {
+					mk := &crashmonkey.Monkey{FS: fs, ScratchStates: engine.scratch}
+					p, err := mk.ProfileWorkload(w)
+					if err != nil {
+						b.Fatal(err)
+					}
+					model := blockdev.FaultModel{Kinds: []blockdev.FaultKind{kind}}
+					b.ReportAllocs()
+					b.ResetTimer()
+					var report *crashmonkey.FaultReport
+					for i := 0; i < b.N; i++ {
+						if pruned {
+							mk.Prune = crashmonkey.NewPruneCache()
+						}
+						report, err = mk.ExploreFaults(p, model)
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					kr := report.Kinds[0]
+					b.ReportMetric(float64(kr.States), "fault-states")
+					b.ReportMetric(float64(kr.Checked), "recoveries-run")
+					b.ReportMetric(float64(len(kr.Broken)), "broken-states")
+					b.ReportMetric(float64(kr.ReplayedWrites)/float64(kr.States), "replayed-writes/state")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkAblationFsckVsAutoChecker compares the fine-grained AutoChecker
 // against running full fsck on every crash state (§4.3: "fsck is both
 // time-consuming ... and can miss data loss/corruption bugs").

@@ -13,6 +13,8 @@
 //	b3 -profile seq-3-metadata -shard 0/5 -v   # + live progress line with ETA
 //	b3 -profile seq-2 -no-prune             # cross-check: no state pruning
 //	b3 -profile seq-1 -fs all -reorder 1    # + bounded-reordering crash states
+//	b3 -profile seq-1 -fs all -faults torn,corrupt,misdirect   # + fault axis
+//	b3 -profile seq-1 -faults torn -sector 1024   # torn sweep at 1 KiB sectors
 //	b3 -profile seq-3-data -prune-cap 65536 # bound the verdict cache
 //	b3 -profile seq-2 -scratch-states       # cross-check: from-scratch states
 //	b3 -profile seq-1 -fs all -v            # + block-IO metering per row
@@ -50,6 +52,8 @@ func main() {
 		pruneCap  = flag.Int("prune-cap", 0, "bound each prune-cache tier to this many entries (0 = default cap, negative = unbounded)")
 		finalOnly = flag.Bool("final-only", false, "test only the final persistence point of each workload (the paper's §5.3 strategy)")
 		reorder   = flag.Int("reorder", 0, "also sweep bounded-reordering crash states, dropping up to k in-flight epoch writes (0 = off; 1 = prefixes + drop-one)")
+		faults    = flag.String("faults", "", "also sweep fault-injection crash states: comma list of torn, corrupt, misdirect (\"\" = off)")
+		sector    = flag.Int("sector", 0, "torn-write sector size in bytes; must divide the 4096-byte block (0 = 512)")
 		corpusDir = flag.String("corpus", "", "persist campaign progress to JSONL shards under this directory")
 		resume    = flag.Bool("resume", false, "resume an interrupted campaign from the -corpus shard")
 		shard     = flag.String("shard", "", "run one residue class i/n of the campaign (e.g. 2/5: workloads with seq%5==2); run all n with the same -corpus, then -merge")
@@ -65,6 +69,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "b3:", err)
 		os.Exit(2)
 	}
+	faultModel, err := parseFaults(*faults, *sector)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "b3:", err)
+		os.Exit(2)
+	}
 
 	switch {
 	case *mergeDir != "":
@@ -75,7 +84,8 @@ func main() {
 		runFindNewBugs(campaignOpts{
 			workers: *workers, sample: *sample,
 			noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
-			reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
+			reorder: *reorder, faults: faultModel,
+			corpusDir: *corpusDir, resume: *resume,
 			scratch: *scratch, verbose: *verbose,
 			shard: shardIdx, numShards: numShards,
 		})
@@ -86,7 +96,8 @@ func main() {
 			campaignOpts: campaignOpts{
 				workers: *workers, sample: *sample,
 				noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
-				reorder: *reorder, corpusDir: *corpusDir, resume: *resume,
+				reorder: *reorder, faults: faultModel,
+				corpusDir: *corpusDir, resume: *resume,
 				scratch: *scratch, verbose: *verbose,
 				shard: shardIdx, numShards: numShards,
 			},
@@ -129,11 +140,32 @@ type campaignOpts struct {
 	noPrune, finalOnly bool
 	pruneCap           int
 	reorder            int
+	faults             b3.FaultModel
 	corpusDir          string
 	resume             bool
 	scratch            bool
 	verbose            bool
 	shard, numShards   int
+}
+
+// parseFaults parses the -faults/-sector flag pair into a FaultModel
+// ("" = fault axis off; -sector without -faults is refused as a likely typo).
+func parseFaults(list string, sector int) (b3.FaultModel, error) {
+	if strings.TrimSpace(list) == "" {
+		if sector != 0 {
+			return b3.FaultModel{}, fmt.Errorf("-sector %d has no effect without -faults", sector)
+		}
+		return b3.FaultModel{}, nil
+	}
+	kinds, err := b3.ParseFaultKinds(list)
+	if err != nil {
+		return b3.FaultModel{}, err
+	}
+	m := b3.FaultModel{Kinds: kinds, SectorSize: sector}
+	if err := m.Validate(); err != nil {
+		return b3.FaultModel{}, err
+	}
+	return m, nil
 }
 
 // parseShard parses the -shard flag: "i/n" with 0 <= i < n ("" = unsharded).
@@ -249,7 +281,7 @@ func runFindNewBugs(o campaignOpts) {
 				FS: fs, Profile: p, Workers: o.workers,
 				SampleEvery: o.sample, DedupKnown: true,
 				NoPrune: o.noPrune, PruneCap: o.pruneCap, FinalOnly: o.finalOnly,
-				Reorder: o.reorder, ScratchStates: o.scratch,
+				Reorder: o.reorder, Faults: o.faults, ScratchStates: o.scratch,
 				Shard: o.shard, NumShards: o.numShards,
 				// Each (fs, profile) pair gets its own corpus shard.
 				CorpusDir: o.corpusDir, Resume: o.resume,
@@ -272,6 +304,12 @@ func runFindNewBugs(o campaignOpts) {
 // bug findings are the product and exit 0, but a broken reorder state means
 // the core-mechanism assumption (every bounded-reordering crash state
 // mounts or is fsck-repairable) failed, which scripts and CI must see.
+//
+// Fault-injection broken states deliberately do NOT exit 1: a disk that
+// tears, corrupts, or misdirects a write is outside the guarantees most
+// designs make, so a broken fault state is a finding about the design's
+// fault envelope (reported in the summary and per-kind counters), not a
+// harness-soundness failure.
 func exitOnBrokenReorder(rows []*b3.CampaignStats) {
 	broken := false
 	for _, s := range rows {
@@ -279,6 +317,10 @@ func exitOnBrokenReorder(rows []*b3.CampaignStats) {
 			broken = true
 			fmt.Fprintf(os.Stderr, "b3: %s: %d reorder state(s) neither mounted nor repaired\n",
 				s.FSName, s.ReorderBroken)
+		}
+		if n := s.FaultBroken(); n > 0 {
+			fmt.Fprintf(os.Stderr, "b3: %s: %d fault state(s) neither mounted nor repaired (finding, not an error)\n",
+				s.FSName, n)
 		}
 	}
 	if broken {
@@ -377,7 +419,7 @@ func runProfile(r profileRun) {
 		Profile: b3.ProfileName(r.profile), Workers: r.workers,
 		SampleEvery: r.sample, MaxWorkloads: r.maxW, DedupKnown: r.dedup,
 		NoPrune: r.noPrune, PruneCap: r.pruneCap, FinalOnly: r.finalOnly,
-		Reorder: r.reorder, ScratchStates: r.scratch,
+		Reorder: r.reorder, Faults: r.faults, ScratchStates: r.scratch,
 		Shard: r.shard, NumShards: r.numShards,
 		CorpusDir: r.corpusDir, Resume: r.resume,
 	}

@@ -52,6 +52,19 @@
 //	merged, _ := b3.MergeCampaignCorpus("runs/", true)
 //	fmt.Print(merged.Summary())
 //
+// # Fault-injection sweeps
+//
+// Beyond clean-prefix and bounded-reordering crash states, a campaign can
+// sweep an orthogonal fault axis (Campaign.Faults, cmd/b3 "-faults"):
+// deterministic, exactly-counted crash states where one unsynced write
+// lands torn at sector granularity (FaultTorn), zeroed or bit-flipped
+// (FaultCorrupt), or on the wrong block (FaultMisdirect). Fault states
+// probe the design's fault envelope rather than its crash consistency:
+// broken states are reported per kind as findings, not harness failures.
+//
+//	stats, _ := b3.RunCampaign(b3.Campaign{FS: fs, Profile: b3.Seq1,
+//	    Faults: b3.FaultModel{Kinds: []b3.FaultKind{b3.FaultTorn, b3.FaultMisdirect}}})
+//
 // Everything the paper's evaluation reports can be regenerated; see
 // EXPERIMENTS.md and the cmd/ tools (cmd/b3 exposes sharding as
 // "-shard i/n" and merging as "-merge dir/").

@@ -1,0 +1,145 @@
+package blockdev
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+)
+
+// Exact crash-state counting, shared by ReorderStateCount and
+// FaultStateCount. The per-epoch terms (prefix counts, binomial drop-subset
+// counts, per-write fault variants) are tiny for real recorded logs, but the
+// counting functions are also exercised by tests and tooling on synthetic
+// epoch sizes where naive int64 arithmetic would silently wrap — a count
+// that wraps negative (or worse, wraps positive) corrupts every downstream
+// budget decision. stateCounter therefore detects overflow and reports
+// ErrStateCountOverflow instead.
+
+// ErrStateCountOverflow reports a crash-state count that does not fit in
+// int64. The enumeration itself is unaffected — it streams states without
+// ever materialising the count — only the exact pre-count is refused.
+var ErrStateCountOverflow = errors.New("blockdev: crash-state count overflows int64")
+
+// stateCounter accumulates a state count with overflow detection: the first
+// overflowing operation latches err and every later operation is a no-op.
+type stateCounter struct {
+	n   int64
+	err error
+}
+
+// add accumulates v (v >= 0).
+func (c *stateCounter) add(v int64) {
+	if c.err != nil {
+		return
+	}
+	if v < 0 || c.n > math.MaxInt64-v {
+		c.err = ErrStateCountOverflow
+		return
+	}
+	c.n += v
+}
+
+// addMul accumulates a*b (a, b >= 0), guarding the product.
+func (c *stateCounter) addMul(a, b int64) {
+	if c.err != nil {
+		return
+	}
+	if a < 0 || b < 0 {
+		c.err = ErrStateCountOverflow
+		return
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	if hi != 0 || lo > math.MaxInt64 {
+		c.err = ErrStateCountOverflow
+		return
+	}
+	c.add(int64(lo))
+}
+
+// addBinomial accumulates C(n, d).
+func (c *stateCounter) addBinomial(n, d int64) {
+	if c.err != nil {
+		return
+	}
+	v, err := binomial(n, d)
+	if err != nil {
+		c.err = err
+		return
+	}
+	c.add(v)
+}
+
+// binomial returns C(n, d) exactly, or ErrStateCountOverflow when the value
+// does not fit in int64. The running value after step i is C(n-d+i, i),
+// which is nondecreasing in i, so computing each step's product in 128 bits
+// (bits.Mul64/Div64) makes the guard trip exactly when the count itself
+// overflows — not merely an intermediate product.
+func binomial(n, d int64) (int64, error) {
+	if d < 0 || d > n {
+		return 0, nil
+	}
+	if d > n-d {
+		d = n - d
+	}
+	out := uint64(1)
+	for i := int64(1); i <= d; i++ {
+		hi, lo := bits.Mul64(out, uint64(n-d+i))
+		if hi >= uint64(i) {
+			// The 128-bit quotient would not fit in 64 bits (Div64's
+			// precondition), so the count certainly exceeds int64.
+			return 0, ErrStateCountOverflow
+		}
+		out, _ = bits.Div64(hi, lo, uint64(i)) // exact: the value is C(n-d+i, i)
+		if out > math.MaxInt64 {
+			return 0, ErrStateCountOverflow
+		}
+	}
+	return int64(out), nil
+}
+
+// epochSizes extracts the per-epoch write counts the counting helpers run
+// over, decoupling the arithmetic from materialised logs so overflow
+// behaviour is testable at the int64 boundary.
+func epochSizes(epochs []Epoch) []int64 {
+	sizes := make([]int64, len(epochs))
+	for i, ep := range epochs {
+		sizes[i] = int64(len(ep.Writes))
+	}
+	return sizes
+}
+
+// reorderCountForSizes is ReorderStateCount on per-epoch write counts.
+func reorderCountForSizes(sizes []int64, k int) (int64, error) {
+	var c stateCounter
+	c.add(1) // the final fully-replayed state, or "empty" for a writeless log
+	for _, n := range sizes {
+		c.add(n) // prefixes 0..n-1
+		maxDrop := int64(k)
+		if maxDrop > n {
+			maxDrop = n
+		}
+		for d := int64(1); d <= maxDrop; d++ {
+			c.addBinomial(n, d)
+		}
+	}
+	return c.n, c.err
+}
+
+// faultCountForSizes is FaultStateCount on per-epoch write counts; spb is
+// the number of sectors per block (torn-write granularity).
+func faultCountForSizes(sizes []int64, kind FaultKind, spb int) (int64, error) {
+	var c stateCounter
+	c.add(1) // the final fully-replayed state, or "empty" for a writeless log
+	for _, n := range sizes {
+		switch kind {
+		case FaultTorn:
+			// Per write: one in-order prefix state plus spb-1 torn variants.
+			c.addMul(n, int64(spb))
+		case FaultCorrupt:
+			c.addMul(n, 2) // zeroed + bit-flipped per write
+		case FaultMisdirect:
+			c.add(n) // one wrong-block landing per write
+		}
+	}
+	return c.n, c.err
+}

@@ -167,39 +167,10 @@ func ForEachReorderState(log []Record, k int, fn func(st ReorderState, apply fun
 }
 
 // ReorderStateCount returns the number of states ForEachReorderState
-// enumerates for log at bound k, without constructing any of them.
-func ReorderStateCount(log []Record, k int) int64 {
-	epochs := Epochs(log)
-	if len(epochs) == 0 {
-		return 1
-	}
-	total := int64(1) // the final fully-replayed state
-	for _, ep := range epochs {
-		n := len(ep.Writes)
-		total += int64(n) // prefixes 0..n-1
-		maxDrop := k
-		if maxDrop > n {
-			maxDrop = n
-		}
-		for d := 1; d <= maxDrop; d++ {
-			total += binomial(n, d)
-		}
-	}
-	return total
-}
-
-func binomial(n, d int) int64 {
-	if d < 0 || d > n {
-		return 0
-	}
-	if d > n-d {
-		d = n - d
-	}
-	out := int64(1)
-	for i := 1; i <= d; i++ {
-		out = out * int64(n-d+i) / int64(i)
-	}
-	return out
+// enumerates for log at bound k, without constructing any of them. It
+// returns ErrStateCountOverflow when the exact count does not fit in int64.
+func ReorderStateCount(log []Record, k int) (int64, error) {
+	return reorderCountForSizes(epochSizes(Epochs(log)), k)
 }
 
 // ForEachReorderStateIncremental enumerates exactly the states of

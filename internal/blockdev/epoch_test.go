@@ -155,15 +155,19 @@ func TestReorderStateCountMatchesEnumeration(t *testing.T) {
 				n++
 				return true
 			})
-			if want := ReorderStateCount(log, k); int64(n) != want {
+			want, err := ReorderStateCount(log, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(n) != want {
 				t.Fatalf("log %d k=%d: enumerated %d states, ReorderStateCount says %d",
 					li, k, n, want)
 			}
 		}
 	}
 	// A writeless log still has its one (empty) crash state.
-	if got := ReorderStateCount(testLog("F", "C"), 2); got != 1 {
-		t.Fatalf("writeless log: %d states, want 1", got)
+	if got, err := ReorderStateCount(testLog("F", "C"), 2); err != nil || got != 1 {
+		t.Fatalf("writeless log: %d states (err %v), want 1", got, err)
 	}
 }
 

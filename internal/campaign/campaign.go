@@ -66,6 +66,15 @@ type Config struct {
 	// (mount/fsck), not against the oracle, and byte-identical states share
 	// one verdict through the row's prune cache. 0 disables the sweep.
 	Reorder int
+	// Faults, when its Kinds list is non-empty, additionally sweeps every
+	// workload's fault-injection crash states for each listed kind — torn
+	// writes at FaultModel sector granularity, zeroed/bit-flipped
+	// corruption of unsynced blocks, and misdirected writes (the axis
+	// orthogonal to Reorder). Like reorder states these are judged for
+	// recoverability (mount/fsck), not against the oracle, and
+	// byte-identical states within a kind share one verdict through the
+	// row's prune cache. The zero value disables the sweeps.
+	Faults blockdev.FaultModel
 	// NoPrune disables representative crash-state pruning: every crash
 	// state is checked against the oracle. This is the cross-check mode —
 	// it must produce the identical set of bug verdicts, only slower.
@@ -137,9 +146,17 @@ func (cfg *Config) configFingerprint() string {
 	if sample <= 0 {
 		sample = 1
 	}
-	return fmt.Sprintf("%s|sample=%d|final=%t|writechecks=%t|reorder=%d",
+	fp := fmt.Sprintf("%s|sample=%d|final=%t|writechecks=%t|reorder=%d",
 		cfg.Bounds.Fingerprint(), sample, cfg.FinalOnly, !cfg.SkipWriteChecks,
 		max(cfg.Reorder, 0))
+	// Fault segments are appended only when the axis is enabled, so every
+	// pre-fault corpus shard keeps its exact key and stays resumable; when
+	// enabled, resume and merge refuse mixed fault sets or sector sizes.
+	if cfg.Faults.Enabled() {
+		m := cfg.Faults.Canonical()
+		fp += fmt.Sprintf("|faults=%s|sector=%d", m, m.SectorSize)
+	}
+	return fp
 }
 
 // numShards normalizes Config.NumShards: 0 and 1 both mean unsharded.
@@ -163,8 +180,10 @@ type Progress struct {
 	// errored, or folded in from a resumed corpus shard.
 	Workloads int64
 	// States is the number of crash states constructed so far (checkpoint
-	// sweep plus reorder sweep).
+	// sweep plus reorder and fault sweeps).
 	States int64
+	// FaultStates is the fault-injection share of States.
+	FaultStates int64
 	// ReplayedWrites is the number of recorded writes replayed so far to
 	// construct those states.
 	ReplayedWrites int64
@@ -213,6 +232,13 @@ type Stats struct {
 	ReorderChecked int64
 	ReorderPruned  int64
 	ReorderBroken  int64
+
+	// Fault-injection accounting (empty when Config.Faults is disabled).
+	// FaultSector is the torn-write sector granularity the campaign ran
+	// with; FaultKinds holds one row per configured kind in canonical kind
+	// order, mirroring the reorder counters per kind.
+	FaultSector int
+	FaultKinds  []FaultKindStats
 
 	// ReplayedWrites counts the recorded writes replayed to construct
 	// every crash state of the campaign (checkpoint sweeps plus reorder
@@ -271,14 +297,54 @@ func (s *Stats) PruneRate() float64 {
 }
 
 // ReplayPerState reports the mean number of writes replayed to construct one
-// crash state (checkpoint and reorder states combined) — the construction
-// cost the incremental cursor engine minimises.
+// crash state (checkpoint, reorder, and fault states combined) — the
+// construction cost the incremental cursor engine minimises.
 func (s *Stats) ReplayPerState() float64 {
-	states := s.StatesTotal + s.ReorderStates
+	states := s.StatesTotal + s.ReorderStates + s.FaultStates()
 	if states == 0 {
 		return 0
 	}
 	return float64(s.ReplayedWrites) / float64(states)
+}
+
+// FaultKindStats is the campaign-level accounting of one fault kind's
+// sweeps: states constructed, recoveries run, verdicts reused from the
+// prune cache, and states that neither mounted nor were repaired.
+type FaultKindStats struct {
+	Kind    string
+	States  int64
+	Checked int64
+	Pruned  int64
+	Broken  int64
+}
+
+// FaultStates returns the total fault-injection states across kinds.
+func (s *Stats) FaultStates() int64 {
+	var n int64
+	for _, f := range s.FaultKinds {
+		n += f.States
+	}
+	return n
+}
+
+// FaultBroken returns the total broken fault states across kinds.
+func (s *Stats) FaultBroken() int64 {
+	var n int64
+	for _, f := range s.FaultKinds {
+		n += f.Broken
+	}
+	return n
+}
+
+// faultCell renders one kind's matrix-table cell ("states/broken", or "-"
+// when the campaign did not sweep that kind).
+func (s *Stats) faultCell(kind string) string {
+	for _, f := range s.FaultKinds {
+		if f.Kind == kind {
+			return fmt.Sprintf("%d/%d", f.States, f.Broken)
+		}
+	}
+	return "-"
 }
 
 // BlockIOSummary renders the block-layer IO counters (the -v campaign line
@@ -305,6 +371,8 @@ type counters struct {
 	prunedDisk, prunedTree        atomic.Int64
 	reorderStates, reorderChecked atomic.Int64
 	reorderPruned, reorderBroken  atomic.Int64
+	faultStates, faultChecked     [blockdev.NumFaultKinds]atomic.Int64
+	faultPruned, faultBroken      [blockdev.NumFaultKinds]atomic.Int64
 	replayedWrites                atomic.Int64
 	profNS, replayNS, checkNS     atomic.Int64
 	dirtyTot, dirtyN, dirtyMax    atomic.Int64
@@ -328,6 +396,19 @@ func (cnt *counters) into(stats *Stats) {
 	stats.ReorderPruned = cnt.reorderPruned.Load()
 	stats.ReorderBroken = cnt.reorderBroken.Load()
 	stats.ReplayedWrites = cnt.replayedWrites.Load()
+	stats.FaultKinds = nil
+	for k := 0; k < blockdev.NumFaultKinds; k++ {
+		fs := FaultKindStats{
+			Kind:    blockdev.FaultKind(k).String(),
+			States:  cnt.faultStates[k].Load(),
+			Checked: cnt.faultChecked[k].Load(),
+			Pruned:  cnt.faultPruned[k].Load(),
+			Broken:  cnt.faultBroken[k].Load(),
+		}
+		if fs.States+fs.Checked+fs.Pruned+fs.Broken > 0 {
+			stats.FaultKinds = append(stats.FaultKinds, fs)
+		}
+	}
 }
 
 // testShardHook, when non-nil, observes every corpus shard a campaign
@@ -389,6 +470,20 @@ func foldRecord(rec *corpus.WorkloadRecord, fsName string, noPrune bool,
 	cnt.reorderStates.Add(int64(rec.RStates))
 	cnt.reorderBroken.Add(int64(rec.RBroken))
 	cnt.replayedWrites.Add(rec.Replayed)
+	for _, f := range rec.Faults {
+		k, err := blockdev.ParseFaultKind(f.Kind)
+		if err != nil {
+			continue // a future kind this build does not know; leave it out
+		}
+		cnt.faultStates[k].Add(int64(f.States))
+		cnt.faultBroken[k].Add(int64(f.Broken))
+		if noPrune {
+			cnt.faultChecked[k].Add(int64(f.Checked) + int64(f.Pruned))
+		} else {
+			cnt.faultChecked[k].Add(int64(f.Checked))
+			cnt.faultPruned[k].Add(int64(f.Pruned))
+		}
+	}
 	if noPrune {
 		// The shard may have been written with pruning on (prune mode is
 		// excluded from the config fingerprint on purpose). A no-prune run
@@ -572,6 +667,24 @@ func (r *fsRun) finish(start time.Time) error {
 	cnt.into(stats)
 	stats.Shard, stats.NumShards = r.cfg.Shard, r.cfg.numShards()
 	stats.ReorderBound = max(r.cfg.Reorder, 0)
+	if r.cfg.Faults.Enabled() {
+		m := r.cfg.Faults.Canonical()
+		stats.FaultSector = m.SectorSize
+		// One row per configured kind, in canonical order, even when the
+		// sweep found no workloads to run against.
+		rows := make([]FaultKindStats, 0, len(m.Kinds))
+		for _, k := range m.Kinds {
+			row := FaultKindStats{Kind: k.String()}
+			for _, fs := range stats.FaultKinds {
+				if fs.Kind == row.Kind {
+					row = fs
+					break
+				}
+			}
+			rows = append(rows, row)
+		}
+		stats.FaultKinds = rows
+	}
 	stats.BlocksRead = r.meter.BlocksRead.Load()
 	stats.BytesAllocated = r.meter.BytesAllocated.Load()
 	if r.cache != nil {
@@ -638,6 +751,14 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 	} else if cfg.Shard != 0 {
 		return nil, fmt.Errorf("campaign: Shard %d set without NumShards", cfg.Shard)
 	}
+	if err := cfg.Faults.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	if cfg.Faults.Enabled() {
+		// Canonical kind order everywhere downstream: sweeps, counters,
+		// corpus records, and the config fingerprint all agree.
+		cfg.Faults = cfg.Faults.Canonical()
+	}
 	if len(fss) == 0 {
 		if cfg.FS == nil {
 			return nil, fmt.Errorf("campaign: no file system configured")
@@ -700,8 +821,12 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 		for _, r := range runs {
 			p.Workloads += r.cnt.tested.Load() + r.cnt.errs.Load()
 			p.States += r.cnt.statesTotal.Load() + r.cnt.reorderStates.Load()
+			for k := 0; k < blockdev.NumFaultKinds; k++ {
+				p.FaultStates += r.cnt.faultStates[k].Load()
+			}
 			p.ReplayedWrites += r.cnt.replayedWrites.Load()
 		}
+		p.States += p.FaultStates
 		return p
 	}
 	var progressStop chan struct{}
@@ -892,6 +1017,34 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 			cnt.replayedWrites.Add(rr.ReplayedWrites)
 		}
 	}
+	// The fault-injection sweeps ride the same profile, gated like the
+	// reorder sweep so the recorded per-kind totals stay a deterministic
+	// function of the workload; only the Checked/Pruned split depends on
+	// shared prune-cache state.
+	if r.cfg.Faults.Enabled() && !rec.Errored {
+		fr, err := mk.ExploreFaults(p, r.cfg.Faults)
+		if err != nil {
+			cnt.errs.Add(1)
+			rec.Errored = true
+		} else {
+			for _, kr := range fr.Kinds {
+				rec.Faults = append(rec.Faults, corpus.FaultKindCounts{
+					Kind:    kr.Kind.String(),
+					States:  kr.States,
+					Checked: kr.Checked,
+					Pruned:  kr.Pruned,
+					Broken:  len(kr.Broken),
+				})
+				k := int(kr.Kind)
+				cnt.faultStates[k].Add(int64(kr.States))
+				cnt.faultChecked[k].Add(int64(kr.Checked))
+				cnt.faultPruned[k].Add(int64(kr.Pruned))
+				cnt.faultBroken[k].Add(int64(len(kr.Broken)))
+				rec.Replayed += kr.ReplayedWrites
+				cnt.replayedWrites.Add(kr.ReplayedWrites)
+			}
+		}
+	}
 	if rec.Verdict == corpus.VerdictBuggy {
 		cnt.failed.Add(1)
 		rec.Skeleton = w.Skeleton()
@@ -954,6 +1107,16 @@ func (s *Stats) Summary() string {
 		fmt.Fprintf(&sb, "\nreorder (k=%d): %d states constructed, %d checked, %d pruned, %d broken",
 			s.ReorderBound, s.ReorderStates, s.ReorderChecked, s.ReorderPruned, s.ReorderBroken)
 	}
+	if len(s.FaultKinds) > 0 {
+		fmt.Fprintf(&sb, "\nfaults (sector=%d):", s.FaultSector)
+		for i, fk := range s.FaultKinds {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			fmt.Fprintf(&sb, " %s %d states, %d checked, %d pruned, %d broken",
+				fk.Kind, fk.States, fk.Checked, fk.Pruned, fk.Broken)
+		}
+	}
 	if s.Resumed > 0 {
 		fmt.Fprintf(&sb, "\nresumed: %d workloads folded in from %s", s.Resumed, s.CorpusPath)
 	}
@@ -997,7 +1160,8 @@ func (m *Matrix) ByFS(name string) *Stats {
 // with the headline campaign counters.
 func (m *Matrix) Table() string {
 	t := report.NewTable("file system", "generated", "tested", "failing",
-		"groups", "new", "states", "pruned", "evicted", "rw/state", "reorder", "r-broken")
+		"groups", "new", "states", "pruned", "evicted", "rw/state", "reorder", "r-broken",
+		"torn", "corrupt", "misdir")
 	for _, s := range m.PerFS {
 		t.AddRow(
 			s.FSName,
@@ -1012,6 +1176,9 @@ func (m *Matrix) Table() string {
 			fmt.Sprintf("%.1f", s.ReplayPerState()),
 			fmt.Sprintf("%d", s.ReorderStates),
 			fmt.Sprintf("%d", s.ReorderBroken),
+			s.faultCell(blockdev.FaultTorn.String()),
+			s.faultCell(blockdev.FaultCorrupt.String()),
+			s.faultCell(blockdev.FaultMisdirect.String()),
 		)
 	}
 	return t.Render()

@@ -13,9 +13,11 @@ package campaign
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
+	"b3/internal/blockdev"
 	"b3/internal/corpus"
 	"b3/internal/report"
 )
@@ -204,6 +206,15 @@ func mergeGroup(shards []*corpus.LoadedShard, knownDBFor func(string) *report.Kn
 		row.TotalShardTime += time.Duration(s.Done.ElapsedNS)
 	}
 	cnt.into(row.Stats)
+	// The torn sector size is a config knob, not a per-record counter; it is
+	// recoverable only from the config fingerprint the shards were keyed by.
+	for _, seg := range strings.Split(meta.Bounds, "|") {
+		if v, ok := strings.CutPrefix(seg, "sector="); ok {
+			if sec, err := strconv.Atoi(v); err == nil {
+				row.Stats.FaultSector = sec
+			}
+		}
+	}
 
 	row.Stats.Groups = report.GroupReports(reports)
 	var db *report.KnownDB
@@ -245,6 +256,16 @@ func (r *MergeRow) Summary() string {
 		fmt.Fprintf(&sb, "reorder: %d states constructed, %d broken\n",
 			s.ReorderStates, s.ReorderBroken)
 	}
+	if len(s.FaultKinds) > 0 {
+		fmt.Fprintf(&sb, "faults (sector=%d):", s.FaultSector)
+		for i, fk := range s.FaultKinds {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			fmt.Fprintf(&sb, " %s %d states, %d broken", fk.Kind, fk.States, fk.Broken)
+		}
+		sb.WriteByte('\n')
+	}
 	for _, g := range s.FreshGroups {
 		sb.WriteByte('\n')
 		sb.WriteString(g.Render())
@@ -255,7 +276,8 @@ func (r *MergeRow) Summary() string {
 // Table renders the merged cross-FS table over the shard-stable counters.
 func (m *Merge) Table() string {
 	t := report.NewTable("file system", "profile", "shards", "generated", "tested",
-		"failing", "groups", "new", "states", "reorder", "r-broken", "replayed")
+		"failing", "groups", "new", "states", "reorder", "r-broken",
+		"torn", "corrupt", "misdir", "replayed")
 	for _, r := range m.Rows {
 		s := r.Stats
 		t.AddRow(
@@ -270,6 +292,9 @@ func (m *Merge) Table() string {
 			fmt.Sprintf("%d", s.StatesTotal),
 			fmt.Sprintf("%d", s.ReorderStates),
 			fmt.Sprintf("%d", s.ReorderBroken),
+			s.faultCell(blockdev.FaultTorn.String()),
+			s.faultCell(blockdev.FaultCorrupt.String()),
+			s.faultCell(blockdev.FaultMisdirect.String()),
 			fmt.Sprintf("%d", s.ReplayedWrites),
 		)
 	}

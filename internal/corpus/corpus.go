@@ -234,11 +234,29 @@ type WorkloadRecord struct {
 	// resume folds it into the campaign's replay-cost accounting. Additive
 	// field: shards written before it load with zero.
 	Replayed int64 `json:"replayed,omitempty"`
+	// Faults holds the per-fault-kind sweep totals (empty, and omitted,
+	// when the campaign ran with no FaultModel). Additive field: shards
+	// written before it load with no entries.
+	Faults []FaultKindCounts `json:"faults,omitempty"`
 	// Skeleton and Workload carry what report grouping needs; recorded
 	// only for buggy workloads to keep shards small.
 	Skeleton string         `json:"skeleton,omitempty"`
 	Workload string         `json:"workload,omitempty"`
 	Reports  []ReportRecord `json:"reports,omitempty"`
+}
+
+// FaultKindCounts is the accounting of one fault kind's sweep of one
+// workload, mirroring the reorder counters: states constructed, recoveries
+// run, verdicts reused from the prune cache, and states that neither
+// mounted nor repaired.
+type FaultKindCounts struct {
+	// Kind is the fault kind's canonical name ("torn", "corrupt",
+	// "misdirect").
+	Kind    string `json:"kind"`
+	States  int    `json:"states"`
+	Checked int    `json:"checked,omitempty"`
+	Pruned  int    `json:"pruned,omitempty"`
+	Broken  int    `json:"broken,omitempty"`
 }
 
 // DoneRecord marks a campaign (shard) that ran its generation and testing

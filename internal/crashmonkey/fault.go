@@ -1,0 +1,206 @@
+package crashmonkey
+
+import (
+	"fmt"
+
+	"b3/internal/blockdev"
+)
+
+// Fault-injection crash exploration: the orthogonal axis to bounded
+// reordering. Where reorder states permute *which* whole-block writes land,
+// fault states change *how* one unsynced write lands — torn at sector
+// granularity, corrupted (zeroed / bit-flipped), or misdirected onto the
+// wrong block (blockdev's fault iterators). The judging contract is the
+// same as ExploreReorder: B3's oracle criteria are undefined for these
+// mid-failure states, so each one is checked against the assumption the
+// whole methodology rests on — recovery must reach a mountable image,
+// at worst after fsck.
+
+// faultOracleSaltBase keys fault verdicts in the shared disk-tier prune
+// cache, salted per fault kind so sweeps of different kinds never share
+// verdict entries with each other or with the reorder sweep.
+const faultOracleSaltBase uint64 = 0x423346614c742121 // "B3FaLt!!"
+
+// faultOracleSalt returns the cache salt for one fault kind.
+func faultOracleSalt(kind blockdev.FaultKind) uint64 {
+	h := newHasher()
+	h.u64(faultOracleSaltBase)
+	h.u64(uint64(kind))
+	return h.h
+}
+
+// FaultKindReport summarises one fault kind's sweep of one workload.
+type FaultKindReport struct {
+	// Kind is the fault axis the sweep enumerated.
+	Kind blockdev.FaultKind
+	// States is the number of crash states constructed.
+	States int
+	// Checked counts states whose recovery actually ran; Pruned counts
+	// states whose verdict was reused from the prune cache.
+	Checked int
+	Pruned  int
+	// Mountable counts states that recovered without help; Repaired counts
+	// states that needed fsck and then mounted.
+	Mountable int
+	Repaired  int
+	// Broken lists states that neither mounted nor repaired.
+	Broken []string
+	// ReplayedWrites is the metered number of writes replayed to construct
+	// the sweep's states (torn/corrupting/misdirected writes included).
+	ReplayedWrites int64
+}
+
+// FaultReport summarises the fault-injection sweeps of one workload, one
+// entry per configured kind in sweep order.
+type FaultReport struct {
+	// SectorSize is the torn-write granularity the sweep ran with.
+	SectorSize int
+	// Kinds holds the per-kind reports.
+	Kinds []FaultKindReport
+}
+
+// Clean reports whether every explored state recovered or was repaired.
+func (r *FaultReport) Clean() bool {
+	for _, kr := range r.Kinds {
+		if len(kr.Broken) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// States returns the total number of states constructed across kinds.
+func (r *FaultReport) States() int {
+	n := 0
+	for _, kr := range r.Kinds {
+		n += kr.States
+	}
+	return n
+}
+
+// ReplayedWrites returns the total construction cost across kinds.
+func (r *FaultReport) ReplayedWrites() int64 {
+	var n int64
+	for _, kr := range r.Kinds {
+		n += kr.ReplayedWrites
+	}
+	return n
+}
+
+// ExploreFaults sweeps the fault-injection crash states of a profiled run
+// for every kind in model, in the order given. When the Monkey has a
+// PruneCache, byte-identical states within a kind are judged once and the
+// verdict reused; verdict entries are salted per kind.
+func (mk *Monkey) ExploreFaults(p *Profile, model blockdev.FaultModel) (*FaultReport, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	log := p.rec.Log()
+	epochs := blockdev.Epochs(log)
+	report := &FaultReport{SectorSize: model.Sector()}
+	for _, kind := range model.Kinds {
+		kr := FaultKindReport{Kind: kind}
+		salt := mk.pruneSalt() ^ faultOracleSalt(kind)
+
+		handle := func(desc string, crash *blockdev.Snapshot) (bool, error) {
+			kr.States++
+			var key stateKey
+			if mk.Prune != nil {
+				key = stateKey{state: crash.Fingerprint(), oracle: salt}
+				if v, ok := mk.Prune.lookupDisk(key); ok {
+					kr.Pruned++
+					kr.tally(desc, v)
+					return true, nil
+				}
+			}
+			kr.Checked++
+			v, err := mk.recoverReorderState(crash)
+			if err != nil {
+				return false, err
+			}
+			if mk.Prune != nil {
+				mk.Prune.misses.Add(1)
+				mk.Prune.storeDisk(key, v)
+			}
+			kr.tally(desc, v)
+			return true, nil
+		}
+
+		var sweepErr error
+		if mk.ScratchStates {
+			// Cross-check engine: every state from a fresh snapshot,
+			// replaying all prior epochs.
+			err := blockdev.ForEachFaultState(log, kind, model.Sector(),
+				func(st blockdev.FaultState, apply func(blockdev.Device) error) bool {
+					crash := blockdev.NewSnapshot(p.base)
+					crash.SetMeter(mk.Meter)
+					if err := apply(crash); err != nil {
+						sweepErr = err
+						return false
+					}
+					kr.ReplayedWrites += scratchFaultReplayCost(epochs, st)
+					ok, herr := handle(st.Desc, crash)
+					if herr != nil {
+						sweepErr = herr
+						return false
+					}
+					return ok
+				})
+			if err != nil && sweepErr == nil {
+				sweepErr = err
+			}
+			if mk.Meter != nil {
+				mk.Meter.BlocksReplayed.Add(kr.ReplayedWrites)
+			}
+		} else {
+			replayed, err := blockdev.ForEachFaultStateIncremental(p.base, log, kind, model.Sector(), mk.Meter,
+				func(st blockdev.FaultState, crash *blockdev.Snapshot) bool {
+					ok, herr := handle(st.Desc, crash)
+					if herr != nil {
+						sweepErr = herr
+						return false
+					}
+					return ok
+				})
+			kr.ReplayedWrites = replayed
+			if err != nil && sweepErr == nil {
+				sweepErr = err
+			}
+		}
+		if sweepErr != nil {
+			return nil, fmt.Errorf("crashmonkey: %s sweep: %w", kind, sweepErr)
+		}
+		report.Kinds = append(report.Kinds, kr)
+	}
+	return report, nil
+}
+
+// scratchFaultReplayCost is the number of writes the from-scratch engine
+// replays to construct st: every write of the epochs before it, the
+// in-flight prefix, and the injected torn/corrupting write when the state
+// carries one (a misdirected write is part of the prefix count).
+func scratchFaultReplayCost(epochs []blockdev.Epoch, st blockdev.FaultState) int64 {
+	var n int64
+	for e := 0; e < st.Epoch && e < len(epochs); e++ {
+		n += int64(len(epochs[e].Writes))
+	}
+	if st.Epoch >= 0 && st.Epoch < len(epochs) {
+		n += int64(st.Applied)
+		if st.Write >= 0 && st.Kind != blockdev.FaultMisdirect {
+			n++
+		}
+	}
+	return n
+}
+
+// tally folds one state verdict into the kind's report.
+func (kr *FaultKindReport) tally(desc string, v *cachedVerdict) {
+	switch {
+	case v.mountable:
+		kr.Mountable++
+	case v.fsckRepaired:
+		kr.Repaired++
+	default:
+		kr.Broken = append(kr.Broken, desc)
+	}
+}

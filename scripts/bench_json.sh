@@ -1,6 +1,6 @@
 #!/usr/bin/env sh
-# bench_json.sh — run the crash-state construction / reorder / campaign
-# benchmarks once (-benchtime=1x keeps this CI-cheap) and emit the results
+# bench_json.sh — run the crash-state construction / reorder / fault /
+# campaign benchmarks once (-benchtime=1x keeps this CI-cheap) and emit the results
 # as BENCH_construct.json: ns/op, replayed-writes/state, allocs/op per
 # benchmark. The committed file at the repo root is the perf baseline each
 # PR's numbers are compared against; the CI job is non-blocking so a noisy
@@ -13,7 +13,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_construct.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkCrashMonkeyConstructCrashState|BenchmarkAblationReorderExploration|BenchmarkTable4Seq1$' \
+  -bench 'BenchmarkCrashMonkeyConstructCrashState|BenchmarkAblationReorderExploration|BenchmarkAblationFaultExploration|BenchmarkTable4Seq1$' \
   -benchtime 1x -benchmem . |
   go run ./cmd/benchjson >"$out"
 

@@ -27,9 +27,9 @@ go run ./cmd/b3 -profile seq-1 -fs all >"$work/unsharded.out"
 # Extract the per-FS stable counters from each table — every data row
 # between the dashed separator and the following blank line, so newly
 # registered backends join the comparison automatically. The merged table is
-#   fs profile shards generated tested failing groups new states reorder r-broken replayed
+#   fs profile shards generated tested failing groups new states reorder r-broken torn corrupt misdir replayed
 # and the matrix table is
-#   fs generated tested failing groups new states pruned% evicted rw/state reorder r-broken
+#   fs generated tested failing groups new states pruned% evicted rw/state reorder r-broken torn corrupt misdir
 # so pick the shared columns by position and normalize both to
 #   fs generated tested failing groups new states reorder r-broken
 # (a column added to either table misaligns the picks and the diff below
