@@ -5,6 +5,7 @@ package b3_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"b3"
@@ -182,6 +183,8 @@ func BenchmarkCrashMonkeyConstructCrashState(b *testing.B) {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
 			b.ResetTimer()
 			states := 0
 			for i := 0; i < b.N; i++ {
@@ -192,7 +195,11 @@ func BenchmarkCrashMonkeyConstructCrashState(b *testing.B) {
 					states++
 				}
 			}
+			b.StopTimer()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
 			b.ReportMetric(float64(meter.BlocksReplayed.Load())/float64(states), "replayed-writes/state")
+			b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(states), "B/state")
 			b.ReportMetric(float64(p.Checkpoints()), "states/op")
 		})
 	}
@@ -243,6 +250,10 @@ func benchCampaign(b *testing.B, profile b3.ProfileName, sample int64) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	var states int64
 	for i := 0; i < b.N; i++ {
 		stats, err := b3.RunCampaign(b3.Campaign{
 			FS:           fs,
@@ -253,9 +264,52 @@ func benchCampaign(b *testing.B, profile b3.ProfileName, sample int64) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		states += stats.StatesTotal
 		b.ReportMetric(stats.TestRate(), "workloads/s")
+		// Disk-tier hits are classified at enumeration time and never
+		// constructed; tree-tier hits still mount, so construction covers
+		// checked + tree-pruned states.
+		b.ReportMetric(float64(stats.StatesChecked+stats.PrunedTree), "constructed-states")
+		b.ReportMetric(float64(stats.PrunedDisk), "class-skipped-states")
+	}
+	b.StopTimer()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if states > 0 {
+		b.ReportMetric(float64(after.TotalAlloc-before.TotalAlloc)/float64(states), "B/state")
 	}
 }
+
+// benchReorderCampaign measures the campaign-scale reorder sweep, where
+// enumeration-time class pruning pays most: many drop-states share a
+// predicted fingerprint with an already-judged state, so they are skipped
+// before construction. constructed-states counts the reorder states that
+// were actually built (everything but the class/commute skips).
+func benchReorderCampaign(b *testing.B, k int) {
+	fs, err := b3.NewFS("logfs", b3.CampaignConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := b3.RunCampaign(b3.Campaign{
+			FS:           fs,
+			Profile:      b3.Seq1,
+			MaxWorkloads: 2000,
+			Reorder:      k,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		skipped := stats.ReorderClassSkipped + stats.ReorderCommuteSkipped
+		b.ReportMetric(float64(stats.ReorderStates), "reorder-states")
+		b.ReportMetric(float64(stats.ReorderStates-skipped), "constructed-states")
+		b.ReportMetric(float64(skipped), "states-skipped")
+	}
+}
+
+func BenchmarkCampaignReorderK1(b *testing.B) { benchReorderCampaign(b, 1) }
+func BenchmarkCampaignReorderK2(b *testing.B) { benchReorderCampaign(b, 2) }
 
 func BenchmarkTable4Seq1(b *testing.B)         { benchCampaign(b, b3.Seq1, 1) }
 func BenchmarkTable4Seq2(b *testing.B)         { benchCampaign(b, b3.Seq2, 1) }
@@ -547,6 +601,7 @@ func BenchmarkAblationReorderExploration(b *testing.B) {
 					}
 					b.ReportMetric(float64(report.States), "reorder-states")
 					b.ReportMetric(float64(report.Checked), "recoveries-run")
+					b.ReportMetric(float64(report.ClassSkipped+report.CommuteSkipped), "states-skipped")
 					// Metered construction cost: the epoch-base cache makes
 					// this O(delta) per state instead of O(history).
 					b.ReportMetric(float64(report.ReplayedWrites)/float64(report.States), "replayed-writes/state")
@@ -594,6 +649,7 @@ func BenchmarkAblationFaultExploration(b *testing.B) {
 					kr := report.Kinds[0]
 					b.ReportMetric(float64(kr.States), "fault-states")
 					b.ReportMetric(float64(kr.Checked), "recoveries-run")
+					b.ReportMetric(float64(kr.ClassSkipped), "states-skipped")
 					b.ReportMetric(float64(len(kr.Broken)), "broken-states")
 					b.ReportMetric(float64(kr.ReplayedWrites)/float64(kr.States), "replayed-writes/state")
 				})

@@ -12,6 +12,9 @@
 //	b3 -merge runs/                         # fold completed shards: one report
 //	b3 -profile seq-3-metadata -shard 0/5 -v   # + live progress line with ETA
 //	b3 -profile seq-2 -no-prune             # cross-check: no state pruning
+//	b3 -profile seq-2 -no-class-prune       # cross-check: construct every novel state
+//	b3 -profile seq-2 -reorder 2 -no-commute-prune  # cross-check: no drop-set dedup
+//	b3 -profile seq-2 -cpuprofile cpu.pprof -memprofile mem.pprof  # go tool pprof
 //	b3 -profile seq-1 -fs all -reorder 1    # + bounded-reordering crash states
 //	b3 -profile seq-1 -fs all -faults torn,corrupt,misdirect   # + fault axis
 //	b3 -profile seq-1 -faults torn -sector 1024   # torn sweep at 1 KiB sectors
@@ -25,12 +28,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"b3"
+	"b3/internal/blockdev"
 	"b3/internal/crashmonkey"
 	"b3/internal/workload"
 )
@@ -47,7 +54,11 @@ func main() {
 		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 		dedup     = flag.Bool("dedup-known", true, "suppress bug groups matching the known-bug database (§5.3)")
 		noPrune   = flag.Bool("no-prune", false, "disable representative crash-state pruning (cross-check mode: every state checked)")
+		noClass   = flag.Bool("no-class-prune", false, "disable enumeration-time class pruning (cross-check mode: every novel crash state is constructed before the cache is consulted)")
+		noCommute = flag.Bool("no-commute-prune", false, "disable reorder commutativity pruning (cross-check mode: every drop-set constructed, including provably identical ones)")
 		scratch   = flag.Bool("scratch-states", false, "construct every crash state from scratch instead of via the rolling replay cursor (cross-check mode)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file when the run ends (go tool pprof)")
 		verbose   = flag.Bool("v", false, "verbose: print per-FS block-IO metering (writes replayed, blocks read, bytes allocated)")
 		pruneCap  = flag.Int("prune-cap", 0, "bound each prune-cache tier to this many entries (0 = default cap, negative = unbounded)")
 		finalOnly = flag.Bool("final-only", false, "test only the final persistence point of each workload (the paper's §5.3 strategy)")
@@ -74,6 +85,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "b3:", err)
 		os.Exit(2)
 	}
+	startProfiles(*cpuProf, *memProf)
 
 	switch {
 	case *mergeDir != "":
@@ -83,7 +95,8 @@ func main() {
 	case *findNew:
 		runFindNewBugs(campaignOpts{
 			workers: *workers, sample: *sample,
-			noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
+			noPrune: *noPrune, noClassPrune: *noClass, noCommutePrune: *noCommute,
+			pruneCap: *pruneCap, finalOnly: *finalOnly,
 			reorder: *reorder, faults: faultModel,
 			corpusDir: *corpusDir, resume: *resume,
 			scratch: *scratch, verbose: *verbose,
@@ -95,7 +108,8 @@ func main() {
 		runProfile(profileRun{
 			campaignOpts: campaignOpts{
 				workers: *workers, sample: *sample,
-				noPrune: *noPrune, pruneCap: *pruneCap, finalOnly: *finalOnly,
+				noPrune: *noPrune, noClassPrune: *noClass, noCommutePrune: *noCommute,
+				pruneCap: *pruneCap, finalOnly: *finalOnly,
 				reorder: *reorder, faults: faultModel,
 				corpusDir: *corpusDir, resume: *resume,
 				scratch: *scratch, verbose: *verbose,
@@ -106,6 +120,50 @@ func main() {
 	default:
 		fmt.Fprintln(os.Stderr, "b3: choose one of -find-new-bugs, -table4, -reproduce, -profile (see -h)")
 		os.Exit(2)
+	}
+	profileFlush()
+}
+
+// profileFlush finalises -cpuprofile/-memprofile output. Every exit path
+// calls it (fatal, exitOnBrokenReorder, the end of main); it is idempotent,
+// and a no-op until startProfiles installs it.
+var profileFlush = func() {}
+
+// startProfiles starts the optional CPU profile and installs profileFlush
+// to stop it and write the optional heap profile.
+func startProfiles(cpu, mem string) {
+	if cpu == "" && mem == "" {
+		return
+	}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+	var once sync.Once
+	profileFlush = func() {
+		once.Do(func() {
+			if cpu != "" {
+				pprof.StopCPUProfile()
+			}
+			if mem == "" {
+				return
+			}
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "b3:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // profile live objects, not yet-uncollected garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "b3:", err)
+			}
+		})
 	}
 }
 
@@ -135,17 +193,18 @@ func runTable4(sample, maxW int64) {
 
 // campaignOpts carries the shared campaign tuning flags.
 type campaignOpts struct {
-	workers            int
-	sample             int64
-	noPrune, finalOnly bool
-	pruneCap           int
-	reorder            int
-	faults             b3.FaultModel
-	corpusDir          string
-	resume             bool
-	scratch            bool
-	verbose            bool
-	shard, numShards   int
+	workers                      int
+	sample                       int64
+	noPrune, finalOnly           bool
+	noClassPrune, noCommutePrune bool
+	pruneCap                     int
+	reorder                      int
+	faults                       b3.FaultModel
+	corpusDir                    string
+	resume                       bool
+	scratch                      bool
+	verbose                      bool
+	shard, numShards             int
 }
 
 // parseFaults parses the -faults/-sector flag pair into a FaultModel
@@ -280,7 +339,8 @@ func runFindNewBugs(o campaignOpts) {
 			stats, err := b3.RunCampaign(b3.Campaign{
 				FS: fs, Profile: p, Workers: o.workers,
 				SampleEvery: o.sample, DedupKnown: true,
-				NoPrune: o.noPrune, PruneCap: o.pruneCap, FinalOnly: o.finalOnly,
+				NoPrune: o.noPrune, NoClassPrune: o.noClassPrune, NoCommutePrune: o.noCommutePrune,
+				PruneCap: o.pruneCap, FinalOnly: o.finalOnly,
 				Reorder: o.reorder, Faults: o.faults, ScratchStates: o.scratch,
 				Shard: o.shard, NumShards: o.numShards,
 				// Each (fs, profile) pair gets its own corpus shard.
@@ -324,6 +384,7 @@ func exitOnBrokenReorder(rows []*b3.CampaignStats) {
 		}
 	}
 	if broken {
+		profileFlush()
 		os.Exit(1)
 	}
 }
@@ -399,6 +460,7 @@ func runReproduce() {
 	}
 	fmt.Printf("\n%d bug reports reproduced, %d failed; 2 of 26 studied bugs out of bounds (as in the paper)\n", ok, fail)
 	if fail > 0 {
+		profileFlush()
 		os.Exit(1)
 	}
 }
@@ -418,7 +480,8 @@ func runProfile(r profileRun) {
 	c := b3.Campaign{
 		Profile: b3.ProfileName(r.profile), Workers: r.workers,
 		SampleEvery: r.sample, MaxWorkloads: r.maxW, DedupKnown: r.dedup,
-		NoPrune: r.noPrune, PruneCap: r.pruneCap, FinalOnly: r.finalOnly,
+		NoPrune: r.noPrune, NoClassPrune: r.noClassPrune, NoCommutePrune: r.noCommutePrune,
+		PruneCap: r.pruneCap, FinalOnly: r.finalOnly,
 		Reorder: r.reorder, Faults: r.faults, ScratchStates: r.scratch,
 		Shard: r.shard, NumShards: r.numShards,
 		CorpusDir: r.corpusDir, Resume: r.resume,
@@ -438,6 +501,7 @@ func runProfile(r profileRun) {
 			if err != nil {
 				return
 			}
+			stateSpaceNotice(c, fss[0], bounds)
 			if n, err := b3.GenerateWorkloads(bounds, func(*b3.Workload) bool { return true }); err == nil {
 				if r.maxW <= 0 || n < r.maxW {
 					total.Store(n)
@@ -474,7 +538,52 @@ func runProfile(r profileRun) {
 	exitOnBrokenReorder(rows)
 }
 
+// stateSpaceNotice sizes the per-workload crash-state spaces behind a -v
+// ETA: it profiles the first workload of the sweep and prints the exact
+// ReorderStateCount/FaultStateCount for its recorded log — the multiplier
+// between the workload-based ETA and the states/s progress counter. A
+// count that overflows int64 is surfaced as a one-line notice instead of
+// being dropped: a space too large to count is exactly the one the user
+// needs to hear about before committing a workstation to it.
+func stateSpaceNotice(c b3.Campaign, fs b3.FileSystem, bounds b3.Bounds) {
+	if c.Reorder <= 0 && len(c.Faults.Kinds) == 0 {
+		return
+	}
+	var text string
+	if _, err := b3.GenerateWorkloads(bounds, func(w *b3.Workload) bool {
+		text = w.String()
+		return false
+	}); err != nil || text == "" {
+		return
+	}
+	w, err := workload.Parse("eta-probe", text)
+	if err != nil {
+		return
+	}
+	p, err := (&crashmonkey.Monkey{FS: fs}).ProfileWorkload(w)
+	if err != nil {
+		return
+	}
+	defer p.Release()
+	log := p.Log()
+	if c.Reorder > 0 {
+		if n, err := blockdev.ReorderStateCount(log, c.Reorder); err != nil {
+			fmt.Fprintf(os.Stderr, "b3: reorder space at k=%d too large to count: the sweep streams it anyway, but the ETA tracks workloads only\n", c.Reorder)
+		} else {
+			fmt.Fprintf(os.Stderr, "b3: reorder sweep at k=%d: %d crash states for the first workload\n", c.Reorder, n)
+		}
+	}
+	for _, kind := range c.Faults.Kinds {
+		if n, err := blockdev.FaultStateCount(log, kind, c.Faults.SectorSize); err != nil {
+			fmt.Fprintf(os.Stderr, "b3: %s fault space too large to count: the sweep streams it anyway, but the ETA tracks workloads only\n", kind)
+		} else {
+			fmt.Fprintf(os.Stderr, "b3: %s fault sweep: %d crash states for the first workload\n", kind, n)
+		}
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "b3:", err)
+	profileFlush()
 	os.Exit(1)
 }

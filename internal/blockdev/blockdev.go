@@ -115,6 +115,39 @@ func NewMemDisk(n int64) *MemDisk {
 	return &MemDisk{blocks: make([][]byte, n)}
 }
 
+// memDiskPool recycles the block-pointer tables of workload base devices: a
+// campaign allocates one device-sized table per workload otherwise, which
+// dominated the allocation profile (BENCH_construct.json) once the overlay
+// layer went pooled.
+var memDiskPool = sync.Pool{New: func() any { return new(MemDisk) }}
+
+// NewPooledMemDisk returns a zero-filled in-memory device with n blocks,
+// reusing a previously Recycled device's table when one fits. Reads and
+// writes behave exactly like NewMemDisk's; call Recycle when the device
+// dies to complete the cycle.
+func NewPooledMemDisk(n int64) *MemDisk {
+	d := memDiskPool.Get().(*MemDisk)
+	if int64(cap(d.blocks)) >= n {
+		d.blocks = d.blocks[:n]
+	} else {
+		d.blocks = make([][]byte, n)
+	}
+	return d
+}
+
+// Recycle returns the device's block buffers to the shared buffer pool and
+// the device itself to the device pool. The device must not be used — by
+// anything, including snapshots still based on it — afterwards.
+func (d *MemDisk) Recycle() {
+	for i, b := range d.blocks {
+		if b != nil {
+			blockPool.Put(b)
+			d.blocks[i] = nil
+		}
+	}
+	memDiskPool.Put(d)
+}
+
 // ReadBlock implements Device. Unwritten blocks read as zeroes.
 func (d *MemDisk) ReadBlock(n int64) ([]byte, error) {
 	if n < 0 || n >= int64(len(d.blocks)) {
@@ -149,7 +182,7 @@ func (d *MemDisk) WriteBlock(n int64, data []byte) error {
 	}
 	b := d.blocks[n]
 	if b == nil {
-		b = make([]byte, BlockSize)
+		b = poolGet()
 		d.blocks[n] = b
 	}
 	// Copy-then-clear-tail stays correct when data aliases b itself (a
@@ -204,6 +237,13 @@ type Snapshot struct {
 // computed by scanning the overlay on demand (the from-scratch path).
 func NewSnapshot(base Device) *Snapshot {
 	return &Snapshot{base: base, overlay: make(map[int64][]byte)}
+}
+
+// NewPooledSnapshot returns a writable COW view of base whose overlay
+// buffers come from the shared pool, without fingerprint tracking (writes
+// skip the per-block hash). Call Release when the snapshot dies.
+func NewPooledSnapshot(base Device) *Snapshot {
+	return &Snapshot{base: base, overlay: make(map[int64][]byte), pooled: true}
 }
 
 // NewTrackedSnapshot returns a COW view of base that maintains its content

@@ -103,6 +103,13 @@ func (c *ReplayCursor) SeekCheckpoint(cp int) (int64, error) {
 	return applied, fmt.Errorf("blockdev: checkpoint %d not found in IO log", cp)
 }
 
+// Release returns the rolling snapshot's overlay buffers to the shared
+// pool. The cursor (and every fork still reading through it) must not be
+// used afterwards.
+func (c *ReplayCursor) Release() {
+	c.rolling.Release()
+}
+
 // Fork returns the crash state at the cursor as a COW fork of the rolling
 // snapshot: writes (file-system recovery, checker probes) stay in the fork,
 // and its Fingerprint is the rolling state's, read in O(1). Call Release on

@@ -196,91 +196,8 @@ func ReorderStateCount(log []Record, k int) (int64, error) {
 func ForEachReorderStateIncremental(base Device, log []Record, k int, meter *BlockMeter,
 	fn func(st ReorderState, crash *Snapshot) bool) (int64, error) {
 
-	epochs := Epochs(log)
-	rolling := NewTrackedSnapshot(base)
-	rolling.SetMeter(meter)
-	defer rolling.Release()
-
-	var replayed int64
-	defer func() {
-		if meter != nil {
-			meter.BlocksReplayed.Add(replayed)
-		}
-	}()
-	replay := func(dst *Snapshot, recs []Record, skip []int) error {
-		next := 0 // skip is ascending; walk it alongside the writes
-		for i, rec := range recs {
-			if next < len(skip) && skip[next] == i {
-				next++
-				continue
-			}
-			if err := dst.WriteBlock(rec.Block, rec.Data); err != nil {
-				return fmt.Errorf("blockdev: reorder replay write seq %d: %w", rec.Seq, err)
-			}
-			replayed++
-		}
-		return nil
-	}
-	emit := func(st ReorderState, parent *Snapshot, writes []Record, skip []int) (bool, error) {
-		crash := NewTrackedSnapshot(parent)
-		defer crash.Release()
-		if err := replay(crash, writes, skip); err != nil {
-			return false, err
-		}
-		return fn(st, crash), nil
-	}
-
-	for _, ep := range epochs {
-		n := len(ep.Writes)
-		// The prefix family shares an inner rolling fork: state j is the
-		// fork after j writes, and each iteration appends exactly one.
-		inner := NewTrackedSnapshot(rolling)
-		for j := 0; j < n; j++ {
-			ok, err := emit(ReorderState{Epoch: ep.Index, Applied: j,
-				Desc: fmt.Sprintf("e%d-pfx%d", ep.Index, j)}, inner, nil, nil)
-			if err != nil || !ok {
-				inner.Release()
-				return replayed, err
-			}
-			if err := replay(inner, ep.Writes[j:j+1], nil); err != nil {
-				inner.Release()
-				return replayed, err
-			}
-		}
-		inner.Release()
-
-		maxDrop := k
-		if maxDrop > n {
-			maxDrop = n
-		}
-		for d := 1; d <= maxDrop; d++ {
-			var sweepErr error
-			ok := combinations(n, d, func(drop []int) bool {
-				cont, err := emit(ReorderState{Epoch: ep.Index, Applied: n,
-					Dropped: append([]int(nil), drop...),
-					Desc:    dropDesc(ep.Index, drop)}, rolling, ep.Writes, drop)
-				sweepErr = err
-				return err == nil && cont
-			})
-			if sweepErr != nil || !ok {
-				return replayed, sweepErr
-			}
-		}
-		// Advance the epoch base: every later state replays this epoch's
-		// writes exactly once, here.
-		if err := replay(rolling, ep.Writes, nil); err != nil {
-			return replayed, err
-		}
-	}
-
-	if len(epochs) == 0 {
-		_, err := emit(ReorderState{Epoch: -1, Desc: "empty"}, rolling, nil, nil)
-		return replayed, err
-	}
-	last := epochs[len(epochs)-1]
-	_, err := emit(ReorderState{Epoch: last.Index, Applied: len(last.Writes),
-		Desc: fmt.Sprintf("e%d-full", last.Index)}, rolling, nil, nil)
-	return replayed, err
+	stats, err := ForEachReorderStatePruned(base, log, k, ReorderEnumOpts{}, meter, fn)
+	return stats.Replayed, err
 }
 
 // applyReorderState replays st onto dst: all writes of the epochs before

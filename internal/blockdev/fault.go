@@ -380,137 +380,6 @@ func applyFaultState(dst Device, epochs []Epoch, st FaultState, sectorSize int) 
 func ForEachFaultStateIncremental(base Device, log []Record, kind FaultKind, sectorSize int,
 	meter *BlockMeter, fn func(st FaultState, crash *Snapshot) bool) (int64, error) {
 
-	spb, err := sectorsPerBlock(sectorSize)
-	if err != nil {
-		return 0, err
-	}
-	if kind < 0 || int(kind) >= NumFaultKinds {
-		return 0, fmt.Errorf("blockdev: unknown fault kind %d", int(kind))
-	}
-	epochs := Epochs(log)
-	rolling := NewTrackedSnapshot(base)
-	rolling.SetMeter(meter)
-	defer rolling.Release()
-
-	var replayed int64
-	defer func() {
-		if meter != nil {
-			meter.BlocksReplayed.Add(replayed)
-		}
-	}()
-	replay := func(dst *Snapshot, recs []Record) error {
-		for _, rec := range recs {
-			if err := dst.WriteBlock(rec.Block, rec.Data); err != nil {
-				return fmt.Errorf("blockdev: fault replay write seq %d: %w", rec.Seq, err)
-			}
-			replayed++
-		}
-		return nil
-	}
-	// emit forks crash from the rolling snapshot, applies the state's delta,
-	// and hands the fork to fn.
-	emit := func(st FaultState, delta func(*Snapshot) error) (bool, error) {
-		crash := NewTrackedSnapshot(rolling)
-		defer crash.Release()
-		if delta != nil {
-			if err := delta(crash); err != nil {
-				return false, err
-			}
-		}
-		return fn(st, crash), nil
-	}
-
-	for _, ep := range epochs {
-		n := len(ep.Writes)
-		switch kind {
-		case FaultTorn:
-			// The rolling snapshot advances write by write; each prefix state
-			// is a bare fork and each torn state a fork plus one partial write.
-			for j := 0; j < n; j++ {
-				ok, err := emit(FaultState{Kind: kind, Epoch: ep.Index, Write: -1, Applied: j,
-					Desc: fmt.Sprintf("e%d-pfx%d", ep.Index, j)}, nil)
-				if err != nil || !ok {
-					return replayed, err
-				}
-				rec := ep.Writes[j]
-				for s := 1; s < spb; s++ {
-					sectors := s
-					ok, err := emit(FaultState{Kind: kind, Epoch: ep.Index, Write: j, Applied: j,
-						Sectors: s, Desc: fmt.Sprintf("e%d-w%d-torn%d", ep.Index, j, s)},
-						func(crash *Snapshot) error {
-							replayed++
-							return writeTorn(crash, rec, sectors, sectorSize)
-						})
-					if err != nil || !ok {
-						return replayed, err
-					}
-				}
-				if err := replay(rolling, ep.Writes[j:j+1]); err != nil {
-					return replayed, err
-				}
-			}
-		case FaultCorrupt:
-			// Corrupt states carry the whole epoch, so the rolling snapshot
-			// advances first and each state is a fork plus one corrupting write.
-			if err := replay(rolling, ep.Writes); err != nil {
-				return replayed, err
-			}
-			for j := 0; j < n; j++ {
-				rec := ep.Writes[j]
-				for _, zeroed := range []bool{true, false} {
-					variant := "flip"
-					if zeroed {
-						variant = "zero"
-					}
-					z := zeroed
-					ok, err := emit(FaultState{Kind: kind, Epoch: ep.Index, Write: j, Applied: n,
-						Zeroed: zeroed, Desc: fmt.Sprintf("e%d-w%d-%s", ep.Index, j, variant)},
-						func(crash *Snapshot) error {
-							replayed++
-							return writeCorrupt(crash, rec, z)
-						})
-					if err != nil || !ok {
-						return replayed, err
-					}
-				}
-			}
-		case FaultMisdirect:
-			// A misdirected write changes the epoch mid-replay, so each state
-			// forks the pre-epoch base and replays the epoch with one write
-			// redirected; the rolling snapshot advances afterwards.
-			for j := 0; j < n; j++ {
-				jj := j
-				ok, err := emit(FaultState{Kind: kind, Epoch: ep.Index, Write: j, Applied: n,
-					Desc: fmt.Sprintf("e%d-w%d-mis", ep.Index, j)},
-					func(crash *Snapshot) error {
-						for i, rec := range ep.Writes {
-							target := rec.Block
-							if i == jj {
-								target = misdirectTarget(crash, rec)
-							}
-							if err := crash.WriteBlock(target, rec.Data); err != nil {
-								return fmt.Errorf("blockdev: fault replay write seq %d: %w", rec.Seq, err)
-							}
-							replayed++
-						}
-						return nil
-					})
-				if err != nil || !ok {
-					return replayed, err
-				}
-			}
-			if err := replay(rolling, ep.Writes); err != nil {
-				return replayed, err
-			}
-		}
-	}
-
-	if len(epochs) == 0 {
-		_, err := emit(FaultState{Kind: kind, Epoch: -1, Write: -1, Desc: "empty"}, nil)
-		return replayed, err
-	}
-	last := epochs[len(epochs)-1]
-	_, err = emit(FaultState{Kind: kind, Epoch: last.Index, Write: -1, Applied: len(last.Writes),
-		Desc: fmt.Sprintf("e%d-full", last.Index)}, nil)
-	return replayed, err
+	stats, err := ForEachFaultStatePruned(base, log, kind, sectorSize, FaultEnumOpts{}, meter, fn)
+	return stats.Replayed, err
 }

@@ -86,6 +86,19 @@ type Config struct {
 	// from the config fingerprint for the same reason prune mode is —
 	// construction strategy never changes verdicts.
 	ScratchStates bool
+	// NoClassPrune disables enumeration-time class pruning: every crash
+	// state is constructed even when its fingerprint was already judged,
+	// and verdict reuse falls back to the post-construction cache lookup.
+	// Cross-check mode — identical verdicts, strictly more constructed
+	// states. Excluded from the config fingerprint like the other
+	// construction-strategy toggles.
+	NoClassPrune bool
+	// NoCommutePrune disables commutativity pruning of reorder drop-sets:
+	// drop-sets provably byte-identical to an earlier canonical one are
+	// constructed (or class-pruned) individually instead of being skipped
+	// at enumeration time. Cross-check mode, excluded from the config
+	// fingerprint.
+	NoCommutePrune bool
 	// PruneCap bounds each prune-cache tier (entries). 0 uses
 	// crashmonkey.DefaultPruneCap; negative means unbounded. Eviction is
 	// verdict-preserving: an evicted state that recurs is re-checked.
@@ -223,15 +236,21 @@ type Stats struct {
 
 	// Reorder accounting (zero when Config.Reorder is 0). ReorderBound is
 	// the bound the campaign ran with; ReorderStates counts the
-	// bounded-reordering crash states constructed, ReorderChecked the
+	// bounded-reordering crash states enumerated, ReorderChecked the
 	// recoveries actually run, ReorderPruned the verdicts reused from the
-	// prune cache, and ReorderBroken the states that neither mounted nor
-	// were repaired by fsck — violations of the core-mechanism assumption.
-	ReorderBound   int
-	ReorderStates  int64
-	ReorderChecked int64
-	ReorderPruned  int64
-	ReorderBroken  int64
+	// prune cache after construction, and ReorderBroken the states that
+	// neither mounted nor were repaired by fsck — violations of the
+	// core-mechanism assumption. ReorderClassSkipped counts states never
+	// constructed (enumeration-time class hit); ReorderCommuteSkipped
+	// counts drop-sets skipped as provably identical to an earlier
+	// canonical representative. Both are included in ReorderStates.
+	ReorderBound          int
+	ReorderStates         int64
+	ReorderChecked        int64
+	ReorderPruned         int64
+	ReorderClassSkipped   int64
+	ReorderCommuteSkipped int64
+	ReorderBroken         int64
 
 	// Fault-injection accounting (empty when Config.Faults is disabled).
 	// FaultSector is the torn-write sector granularity the campaign ran
@@ -308,14 +327,17 @@ func (s *Stats) ReplayPerState() float64 {
 }
 
 // FaultKindStats is the campaign-level accounting of one fault kind's
-// sweeps: states constructed, recoveries run, verdicts reused from the
-// prune cache, and states that neither mounted nor were repaired.
+// sweeps: states enumerated, recoveries run, verdicts reused from the prune
+// cache after construction, states never constructed thanks to an
+// enumeration-time class hit, and states that neither mounted nor were
+// repaired.
 type FaultKindStats struct {
-	Kind    string
-	States  int64
-	Checked int64
-	Pruned  int64
-	Broken  int64
+	Kind         string
+	States       int64
+	Checked      int64
+	Pruned       int64
+	ClassSkipped int64
+	Broken       int64
 }
 
 // FaultStates returns the total fault-injection states across kinds.
@@ -371,8 +393,11 @@ type counters struct {
 	prunedDisk, prunedTree        atomic.Int64
 	reorderStates, reorderChecked atomic.Int64
 	reorderPruned, reorderBroken  atomic.Int64
+	reorderClassSkip              atomic.Int64
+	reorderCommuteSkip            atomic.Int64
 	faultStates, faultChecked     [blockdev.NumFaultKinds]atomic.Int64
 	faultPruned, faultBroken      [blockdev.NumFaultKinds]atomic.Int64
+	faultClassSkip                [blockdev.NumFaultKinds]atomic.Int64
 	replayedWrites                atomic.Int64
 	profNS, replayNS, checkNS     atomic.Int64
 	dirtyTot, dirtyN, dirtyMax    atomic.Int64
@@ -394,18 +419,21 @@ func (cnt *counters) into(stats *Stats) {
 	stats.ReorderStates = cnt.reorderStates.Load()
 	stats.ReorderChecked = cnt.reorderChecked.Load()
 	stats.ReorderPruned = cnt.reorderPruned.Load()
+	stats.ReorderClassSkipped = cnt.reorderClassSkip.Load()
+	stats.ReorderCommuteSkipped = cnt.reorderCommuteSkip.Load()
 	stats.ReorderBroken = cnt.reorderBroken.Load()
 	stats.ReplayedWrites = cnt.replayedWrites.Load()
 	stats.FaultKinds = nil
 	for k := 0; k < blockdev.NumFaultKinds; k++ {
 		fs := FaultKindStats{
-			Kind:    blockdev.FaultKind(k).String(),
-			States:  cnt.faultStates[k].Load(),
-			Checked: cnt.faultChecked[k].Load(),
-			Pruned:  cnt.faultPruned[k].Load(),
-			Broken:  cnt.faultBroken[k].Load(),
+			Kind:         blockdev.FaultKind(k).String(),
+			States:       cnt.faultStates[k].Load(),
+			Checked:      cnt.faultChecked[k].Load(),
+			Pruned:       cnt.faultPruned[k].Load(),
+			ClassSkipped: cnt.faultClassSkip[k].Load(),
+			Broken:       cnt.faultBroken[k].Load(),
 		}
-		if fs.States+fs.Checked+fs.Pruned+fs.Broken > 0 {
+		if fs.States+fs.Checked+fs.Pruned+fs.ClassSkipped+fs.Broken > 0 {
 			stats.FaultKinds = append(stats.FaultKinds, fs)
 		}
 	}
@@ -478,25 +506,31 @@ func foldRecord(rec *corpus.WorkloadRecord, fsName string, noPrune bool,
 		cnt.faultStates[k].Add(int64(f.States))
 		cnt.faultBroken[k].Add(int64(f.Broken))
 		if noPrune {
-			cnt.faultChecked[k].Add(int64(f.Checked) + int64(f.Pruned))
+			cnt.faultChecked[k].Add(int64(f.Checked) + int64(f.Pruned) + int64(f.ClassSkip))
 		} else {
 			cnt.faultChecked[k].Add(int64(f.Checked))
 			cnt.faultPruned[k].Add(int64(f.Pruned))
+			cnt.faultClassSkip[k].Add(int64(f.ClassSkip))
 		}
 	}
+	// Commute skips are cache-independent (the enumerator proves the states
+	// byte-identical), so they fold as skips even into a no-prune run.
+	cnt.reorderCommuteSkip.Add(int64(rec.RCommuteSkip))
 	if noPrune {
 		// The shard may have been written with pruning on (prune mode is
 		// excluded from the config fingerprint on purpose). A no-prune run
 		// must keep its StatesChecked == StatesTotal invariant, so recorded
-		// prune-skips count as checked here — their verdicts were
-		// established, just via the cache.
+		// prune-skips — post-construction and enumeration-time alike — count
+		// as checked here: their verdicts were established, just via the
+		// cache.
 		cnt.statesChecked.Add(int64(rec.Checked) + int64(rec.Pruned))
-		cnt.reorderChecked.Add(int64(rec.RChecked) + int64(rec.RPruned))
+		cnt.reorderChecked.Add(int64(rec.RChecked) + int64(rec.RPruned) + int64(rec.RClassSkip))
 	} else {
 		cnt.statesChecked.Add(int64(rec.Checked))
 		cnt.statesPruned.Add(int64(rec.Pruned))
 		cnt.reorderChecked.Add(int64(rec.RChecked))
 		cnt.reorderPruned.Add(int64(rec.RPruned))
+		cnt.reorderClassSkip.Add(int64(rec.RClassSkip))
 	}
 	if rec.Errored || rec.Verdict == corpus.VerdictError {
 		cnt.errs.Add(1)
@@ -867,6 +901,8 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 						SkipWriteChecks: j.run.cfg.SkipWriteChecks,
 						Prune:           j.run.cache,
 						ScratchStates:   j.run.cfg.ScratchStates,
+						NoClassPrune:    j.run.cfg.NoClassPrune,
+						NoCommutePrune:  j.run.cfg.NoCommutePrune,
 						Meter:           &j.run.meter,
 					}
 					monkeys[j.run] = mk
@@ -929,6 +965,9 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 		record(rec)
 		return
 	}
+	// Hand the profile's pooled device memory (base image, overlays, the
+	// rolling cursor) back once every sweep over it is done.
+	defer p.Release()
 	last := p.Checkpoints()
 	if last == 0 {
 		record(rec)
@@ -997,8 +1036,10 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 	// The bounded-reordering sweep rides the same profile. It is skipped for
 	// workloads that already errored so the recorded RStates/RBroken totals
 	// are a deterministic function of the workload (what resume compares
-	// against); the RChecked/RPruned split depends on shared prune-cache
-	// state and worker interleaving, so only its sum is stable.
+	// against); the RChecked/RPruned/RClassSkip split depends on shared
+	// prune-cache state and worker interleaving, so only its sum is stable
+	// (RCommuteSkip is deterministic: the enumerator proves those states
+	// identical without consulting the cache).
 	if r.cfg.Reorder > 0 && !rec.Errored {
 		rr, err := mk.ExploreReorder(p, r.cfg.Reorder)
 		if err != nil {
@@ -1008,11 +1049,15 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 			rec.RStates = rr.States
 			rec.RChecked = rr.Checked
 			rec.RPruned = rr.Pruned
+			rec.RClassSkip = rr.ClassSkipped
+			rec.RCommuteSkip = rr.CommuteSkipped
 			rec.RBroken = len(rr.Broken)
 			rec.Replayed += rr.ReplayedWrites
 			cnt.reorderStates.Add(int64(rr.States))
 			cnt.reorderChecked.Add(int64(rr.Checked))
 			cnt.reorderPruned.Add(int64(rr.Pruned))
+			cnt.reorderClassSkip.Add(int64(rr.ClassSkipped))
+			cnt.reorderCommuteSkip.Add(int64(rr.CommuteSkipped))
 			cnt.reorderBroken.Add(int64(len(rr.Broken)))
 			cnt.replayedWrites.Add(rr.ReplayedWrites)
 		}
@@ -1029,16 +1074,18 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 		} else {
 			for _, kr := range fr.Kinds {
 				rec.Faults = append(rec.Faults, corpus.FaultKindCounts{
-					Kind:    kr.Kind.String(),
-					States:  kr.States,
-					Checked: kr.Checked,
-					Pruned:  kr.Pruned,
-					Broken:  len(kr.Broken),
+					Kind:      kr.Kind.String(),
+					States:    kr.States,
+					Checked:   kr.Checked,
+					Pruned:    kr.Pruned,
+					ClassSkip: kr.ClassSkipped,
+					Broken:    len(kr.Broken),
 				})
 				k := int(kr.Kind)
 				cnt.faultStates[k].Add(int64(kr.States))
 				cnt.faultChecked[k].Add(int64(kr.Checked))
 				cnt.faultPruned[k].Add(int64(kr.Pruned))
+				cnt.faultClassSkip[k].Add(int64(kr.ClassSkipped))
 				cnt.faultBroken[k].Add(int64(len(kr.Broken)))
 				rec.Replayed += kr.ReplayedWrites
 				cnt.replayedWrites.Add(kr.ReplayedWrites)
@@ -1104,8 +1151,12 @@ func (s *Stats) Summary() string {
 		}
 	}
 	if s.ReorderBound > 0 {
-		fmt.Fprintf(&sb, "\nreorder (k=%d): %d states constructed, %d checked, %d pruned, %d broken",
+		fmt.Fprintf(&sb, "\nreorder (k=%d): %d states enumerated, %d checked, %d pruned, %d broken",
 			s.ReorderBound, s.ReorderStates, s.ReorderChecked, s.ReorderPruned, s.ReorderBroken)
+		if s.ReorderClassSkipped+s.ReorderCommuteSkipped > 0 {
+			fmt.Fprintf(&sb, "; never constructed: %d class-skipped, %d commute-skipped",
+				s.ReorderClassSkipped, s.ReorderCommuteSkipped)
+		}
 	}
 	if len(s.FaultKinds) > 0 {
 		fmt.Fprintf(&sb, "\nfaults (sector=%d):", s.FaultSector)
@@ -1115,6 +1166,9 @@ func (s *Stats) Summary() string {
 			}
 			fmt.Fprintf(&sb, " %s %d states, %d checked, %d pruned, %d broken",
 				fk.Kind, fk.States, fk.Checked, fk.Pruned, fk.Broken)
+			if fk.ClassSkipped > 0 {
+				fmt.Fprintf(&sb, " (%d class-skipped)", fk.ClassSkipped)
+			}
 		}
 	}
 	if s.Resumed > 0 {
@@ -1160,7 +1214,7 @@ func (m *Matrix) ByFS(name string) *Stats {
 // with the headline campaign counters.
 func (m *Matrix) Table() string {
 	t := report.NewTable("file system", "generated", "tested", "failing",
-		"groups", "new", "states", "pruned", "evicted", "rw/state", "reorder", "r-broken",
+		"groups", "new", "states", "pruned", "evicted", "rw/state", "reorder", "r-skip", "r-broken",
 		"torn", "corrupt", "misdir")
 	for _, s := range m.PerFS {
 		t.AddRow(
@@ -1175,6 +1229,7 @@ func (m *Matrix) Table() string {
 			fmt.Sprintf("%d", s.DiskEvictions+s.TreeEvictions),
 			fmt.Sprintf("%.1f", s.ReplayPerState()),
 			fmt.Sprintf("%d", s.ReorderStates),
+			fmt.Sprintf("%d", s.ReorderClassSkipped+s.ReorderCommuteSkipped),
 			fmt.Sprintf("%d", s.ReorderBroken),
 			s.faultCell(blockdev.FaultTorn.String()),
 			s.faultCell(blockdev.FaultCorrupt.String()),

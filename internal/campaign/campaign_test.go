@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -276,16 +277,25 @@ func TestReorderCampaignCrossCheck(t *testing.T) {
 	if pruned.ReorderStates == 0 {
 		t.Fatal("reorder mode constructed no states")
 	}
-	if pruned.ReorderChecked+pruned.ReorderPruned != pruned.ReorderStates {
-		t.Fatalf("reorder accounting broken: %d checked + %d pruned != %d states",
-			pruned.ReorderChecked, pruned.ReorderPruned, pruned.ReorderStates)
+	if pruned.ReorderChecked+pruned.ReorderPruned+
+		pruned.ReorderClassSkipped+pruned.ReorderCommuteSkipped != pruned.ReorderStates {
+		t.Fatalf("reorder accounting broken: %d checked + %d pruned + %d class-skipped + %d commute-skipped != %d states",
+			pruned.ReorderChecked, pruned.ReorderPruned,
+			pruned.ReorderClassSkipped, pruned.ReorderCommuteSkipped, pruned.ReorderStates)
 	}
-	if plain.ReorderPruned != 0 || plain.ReorderChecked != plain.ReorderStates {
+	// -no-prune disables the verdict cache (no pruned, no class-skipped)
+	// but not commutativity pruning, which is cache-independent.
+	if plain.ReorderPruned != 0 || plain.ReorderClassSkipped != 0 ||
+		plain.ReorderChecked+plain.ReorderCommuteSkipped != plain.ReorderStates {
 		t.Fatalf("no-prune mode pruned reorder states: %+v", plain)
 	}
 	if pruned.ReorderStates != plain.ReorderStates {
 		t.Fatalf("modes saw different reorder spaces: %d vs %d",
 			pruned.ReorderStates, plain.ReorderStates)
+	}
+	if pruned.ReorderCommuteSkipped != plain.ReorderCommuteSkipped {
+		t.Fatalf("commute skips are cache-independent but diverged: %d vs %d",
+			pruned.ReorderCommuteSkipped, plain.ReorderCommuteSkipped)
 	}
 	if pruned.ReorderChecked >= plain.ReorderChecked {
 		t.Fatalf("pruning ran no fewer reorder recoveries: %d vs %d",
@@ -319,6 +329,129 @@ func TestReorderCampaignCrossCheck(t *testing.T) {
 	row := m.ByFS("logfs")
 	if row == nil || row.ReorderStates != pruned.ReorderStates {
 		t.Fatalf("matrix row reorder accounting diverged from standalone run: %+v", row)
+	}
+}
+
+// assertSameVerdicts requires the verdict-bearing counters of two runs of
+// one configuration to match exactly: oracle verdicts, space sizes, broken
+// states on both sweep axes, and byte-identical bug groups. It is the
+// shared gate of the enumeration-time-pruning cross-checks — the split
+// between checked/pruned/skipped may differ between the runs, the verdicts
+// never may.
+func assertSameVerdicts(t *testing.T, a, b *Stats) {
+	t.Helper()
+	if a.Tested != b.Tested || a.Failed != b.Failed || a.Errors != b.Errors {
+		t.Fatalf("oracle verdicts diverged: tested %d/%d, failed %d/%d, errors %d/%d",
+			a.Tested, b.Tested, a.Failed, b.Failed, a.Errors, b.Errors)
+	}
+	if a.StatesTotal != b.StatesTotal {
+		t.Fatalf("oracle state spaces diverged: %d vs %d", a.StatesTotal, b.StatesTotal)
+	}
+	if a.ReorderStates != b.ReorderStates || a.ReorderBroken != b.ReorderBroken {
+		t.Fatalf("reorder sweep diverged: %d states/%d broken vs %d/%d",
+			a.ReorderStates, a.ReorderBroken, b.ReorderStates, b.ReorderBroken)
+	}
+	if len(a.FaultKinds) != len(b.FaultKinds) {
+		t.Fatalf("fault rows diverged: %d vs %d", len(a.FaultKinds), len(b.FaultKinds))
+	}
+	for i, fa := range a.FaultKinds {
+		fb := b.FaultKinds[i]
+		if fa.Kind != fb.Kind || fa.States != fb.States || fa.Broken != fb.Broken {
+			t.Fatalf("%s fault sweep diverged: %d states/%d broken vs %d/%d",
+				fa.Kind, fa.States, fa.Broken, fb.States, fb.Broken)
+		}
+	}
+	assertSameGroups(t, a, b)
+}
+
+// TestClassPruneMatchesUnpruned is the verdict-equality gate for the
+// enumeration-time class-prune hoist on every registered backend: with
+// -no-class-prune every novel crash state is constructed before the verdict
+// cache is consulted, so any divergence in verdicts, bug groups, or space
+// sizes means the hoisted fingerprint classified a state the constructed
+// path would have judged differently.
+func TestClassPruneMatchesUnpruned(t *testing.T) {
+	scenarios := []struct {
+		name string
+		cfg  Config
+	}{
+		{"seq1-reorder2-faults", Config{Bounds: ace.Default(1), Reorder: 2, Faults: allFaultsModel}},
+		{"seq2-reorder1", Config{
+			Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+			SampleEvery: 5, MaxWorkloads: 2000, Reorder: 1,
+		}},
+	}
+	for _, name := range fsmake.Names() {
+		for _, sc := range scenarios {
+			t.Run(name+"/"+sc.name, func(t *testing.T) {
+				fs, err := fsmake.NewBugsOnly(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := sc.cfg
+				base.FS = fs
+				hoisted, err := Run(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off := base
+				off.NoClassPrune = true
+				plain, err := Run(off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plain.ReorderClassSkipped != 0 {
+					t.Fatalf("-no-class-prune still skipped %d reorder states", plain.ReorderClassSkipped)
+				}
+				for _, fk := range plain.FaultKinds {
+					if fk.ClassSkipped != 0 {
+						t.Fatalf("-no-class-prune still skipped %d %s fault states", fk.ClassSkipped, fk.Kind)
+					}
+				}
+				assertSameVerdicts(t, hoisted, plain)
+			})
+		}
+	}
+}
+
+// TestCommutePruneMatchesUnpruned is the verdict-equality gate for reorder
+// commutativity pruning on every registered backend at k=1..2: with
+// -no-commute-prune every drop-set is constructed, including ones provably
+// identical to an earlier canonical drop-set. (On this corpus the skip
+// count is typically zero — every backend flushes each dirty block at most
+// once per epoch, see ARCHITECTURE.md — so the blockdev-level
+// TestCommutePruneInvariants/FuzzCommuteSkip carry the positive cases on
+// synthetic logs; this gate proves the escape hatch and the default agree
+// on real workloads.)
+func TestCommutePruneMatchesUnpruned(t *testing.T) {
+	for _, name := range fsmake.Names() {
+		for _, k := range []int{1, 2} {
+			t.Run(fmt.Sprintf("%s/k=%d", name, k), func(t *testing.T) {
+				fs, err := fsmake.NewBugsOnly(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base := Config{
+					FS:          fs,
+					Bounds:      linkBounds(workload.OpCreat, workload.OpRename),
+					SampleEvery: 5, MaxWorkloads: 2000, Reorder: k,
+				}
+				on, err := Run(base)
+				if err != nil {
+					t.Fatal(err)
+				}
+				off := base
+				off.NoCommutePrune = true
+				plain, err := Run(off)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if plain.ReorderCommuteSkipped != 0 {
+					t.Fatalf("-no-commute-prune still skipped %d states", plain.ReorderCommuteSkipped)
+				}
+				assertSameVerdicts(t, on, plain)
+			})
+		}
 	}
 }
 
@@ -375,9 +508,11 @@ func TestReorderResumeMatchesUninterrupted(t *testing.T) {
 		t.Fatalf("reorder broken verdicts diverged after resume: %d vs %d",
 			resumed.ReorderBroken, uninterrupted.ReorderBroken)
 	}
-	if resumed.ReorderChecked+resumed.ReorderPruned != resumed.ReorderStates {
-		t.Fatalf("resumed reorder accounting broken: %d + %d != %d",
-			resumed.ReorderChecked, resumed.ReorderPruned, resumed.ReorderStates)
+	if resumed.ReorderChecked+resumed.ReorderPruned+
+		resumed.ReorderClassSkipped+resumed.ReorderCommuteSkipped != resumed.ReorderStates {
+		t.Fatalf("resumed reorder accounting broken: %d + %d + %d + %d != %d",
+			resumed.ReorderChecked, resumed.ReorderPruned,
+			resumed.ReorderClassSkipped, resumed.ReorderCommuteSkipped, resumed.ReorderStates)
 	}
 	assertSameGroups(t, resumed, uninterrupted)
 
@@ -739,8 +874,9 @@ func TestGroupingDeduplicates(t *testing.T) {
 // shardedMergeVsUnsharded runs cfg unsharded, then once per residue class
 // 0..n-1 into dir, merges the shard corpora, and requires every
 // shard-stable counter — totals, bug groups, reorder states and broken
-// verdicts, replayed writes — to be identical to the unsharded run,
-// headline included (the byte-for-byte contract of b3 -merge).
+// verdicts — to be identical to the unsharded run, headline included (the
+// byte-for-byte contract of b3 -merge). Replayed writes join the stable
+// set only when class pruning is off (see the in-loop comment).
 func shardedMergeVsUnsharded(t *testing.T, cfg Config, fss []filesys.FileSystem, n int) *Merge {
 	t.Helper()
 	unsharded, err := RunMatrix(cfg, fss)
@@ -800,12 +936,21 @@ func shardedMergeVsUnsharded(t *testing.T, cfg Config, fss []filesys.FileSystem,
 				want.FSName, got.ReorderStates, got.ReorderBroken,
 				want.ReorderStates, want.ReorderBroken)
 		}
-		if got.ReplayedWrites != want.ReplayedWrites {
+		// Replayed writes are shard-stable only when class pruning is off:
+		// a class hit skips state construction entirely, and which states
+		// hit depends on the per-process cache contents. With -no-class-prune
+		// (or -no-prune) every state is constructed and the counter is exact.
+		if cfg.NoPrune || cfg.NoClassPrune {
+			if got.ReplayedWrites != want.ReplayedWrites {
+				t.Fatalf("%s: merged replay counter %d, unsharded %d",
+					want.FSName, got.ReplayedWrites, want.ReplayedWrites)
+			}
+		} else if (got.ReplayedWrites == 0) != (want.ReplayedWrites == 0) {
 			t.Fatalf("%s: merged replay counter %d, unsharded %d",
 				want.FSName, got.ReplayedWrites, want.ReplayedWrites)
 		}
 		// Per-fault-kind states and broken verdicts are shard-stable (the
-		// checked/pruned split is not — per-process prune caches).
+		// checked/pruned/class-skipped split is not — per-process prune caches).
 		if len(got.FaultKinds) != len(want.FaultKinds) {
 			t.Fatalf("%s: merged fault rows %d, unsharded %d",
 				want.FSName, len(got.FaultKinds), len(want.FaultKinds))
@@ -816,9 +961,9 @@ func shardedMergeVsUnsharded(t *testing.T, cfg Config, fss []filesys.FileSystem,
 				t.Fatalf("%s: merged %s fault counters diverged: %d states/%d broken vs %d/%d",
 					want.FSName, gf.Kind, gf.States, gf.Broken, wf.States, wf.Broken)
 			}
-			if gf.Checked+gf.Pruned != gf.States {
-				t.Fatalf("%s: merged %s fault accounting broken: %d + %d != %d",
-					want.FSName, gf.Kind, gf.Checked, gf.Pruned, gf.States)
+			if gf.Checked+gf.Pruned+gf.ClassSkipped != gf.States {
+				t.Fatalf("%s: merged %s fault accounting broken: %d + %d + %d != %d",
+					want.FSName, gf.Kind, gf.Checked, gf.Pruned, gf.ClassSkipped, gf.States)
 			}
 		}
 		assertSameGroups(t, got, want)
@@ -873,9 +1018,12 @@ func TestShardUnionMatchesUnsharded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// -no-class-prune here on purpose: it restores the exact replay-counter
+	// equality the helper can then assert (every state constructed).
 	sampled := Config{
-		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
-		SampleEvery: 4,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  4,
+		NoClassPrune: true,
 	}
 	merged = shardedMergeVsUnsharded(t, sampled, []filesys.FileSystem{fs}, 2)
 	if row := merged.ByFS("logfs"); row.Stats.Failed == 0 {
@@ -1224,9 +1372,9 @@ func TestFaultCampaignResumeMatchesUninterrupted(t *testing.T) {
 			t.Fatalf("%s fault counters diverged after resume: %d states/%d broken vs %d/%d",
 				rf.Kind, rf.States, rf.Broken, uf.States, uf.Broken)
 		}
-		if rf.Checked+rf.Pruned != rf.States {
-			t.Fatalf("resumed %s fault accounting broken: %d + %d != %d",
-				rf.Kind, rf.Checked, rf.Pruned, rf.States)
+		if rf.Checked+rf.Pruned+rf.ClassSkipped != rf.States {
+			t.Fatalf("resumed %s fault accounting broken: %d + %d + %d != %d",
+				rf.Kind, rf.Checked, rf.Pruned, rf.ClassSkipped, rf.States)
 		}
 	}
 	assertSameGroups(t, resumed, uninterrupted)

@@ -3,9 +3,10 @@
 // re-running anything. The shard partition is a residue system over the
 // deterministic ACE sequence numbers, so the union of a complete system
 // 0..n-1 is provably the unsharded campaign: every stable counter (totals,
-// bug groups, reorder states, replayed writes) merges to the identical
-// value, which TestShardUnionMatchesUnsharded enforces. Counters that
-// depend on shared prune-cache state (the checked/pruned split) are not
+// bug groups, reorder states) merges to the identical value, which
+// TestShardUnionMatchesUnsharded enforces. Counters that depend on shared
+// prune-cache state — the checked/pruned/class-skipped split, and replayed
+// writes once class pruning skips construction on cache hits — are not
 // stable across process boundaries and are reported as the sum without an
 // equality claim.
 package campaign
@@ -26,10 +27,12 @@ import (
 // the folded Stats plus the shard bookkeeping behind them.
 type MergeRow struct {
 	// Stats carries the merged counters and bug groups. Generated, Tested,
-	// Failed, Errors, StatesTotal, ReorderStates, ReorderBroken,
-	// ReplayedWrites, and Groups are identical to an unsharded run of the
-	// same configuration; StatesChecked/StatesPruned (and the reorder
-	// split) are sums whose split depends on per-process prune caches.
+	// Failed, Errors, StatesTotal, ReorderStates, ReorderBroken, and Groups
+	// are identical to an unsharded run of the same configuration;
+	// StatesChecked/StatesPruned (and the reorder split) are sums whose
+	// split depends on per-process prune caches, and ReplayedWrites shares
+	// that fate unless class pruning is disabled (a class hit skips
+	// construction, so the replay count tracks the cache contents).
 	// Elapsed is the slowest shard's wall-clock (shards run concurrently).
 	// Shard/NumShards stay zero: a merged row covers the whole sweep, not
 	// a residue class.

@@ -221,13 +221,20 @@ type WorkloadRecord struct {
 	Pruned  int `json:"pruned"`
 	// RStates, RChecked, RPruned, RBroken are the bounded-reordering sweep
 	// totals (zero, and omitted, when the campaign ran with Reorder off):
-	// reorder states constructed, recoveries run, verdicts reused from the
+	// reorder states enumerated, recoveries run, verdicts reused from the
 	// prune cache, and states that neither mounted nor repaired. Additive
 	// fields: shards written before them load with zeros.
 	RStates  int `json:"rstates,omitempty"`
 	RChecked int `json:"rchecked,omitempty"`
 	RPruned  int `json:"rpruned,omitempty"`
 	RBroken  int `json:"rbroken,omitempty"`
+	// RClassSkip and RCommuteSkip split out the reorder states never
+	// constructed: enumeration-time class hits and drop-sets skipped as
+	// identical to an earlier canonical representative. Both are included
+	// in RStates. Additive fields: shards written before them load with
+	// zeros (their skips are inside RPruned/RChecked instead).
+	RClassSkip   int `json:"rclassskip,omitempty"`
+	RCommuteSkip int `json:"rcommuteskip,omitempty"`
 	// Replayed is the number of recorded writes replayed to construct the
 	// workload's crash states (checkpoint sweep plus reorder sweep). It is
 	// a deterministic function of the workload and the construction engine;
@@ -246,9 +253,10 @@ type WorkloadRecord struct {
 }
 
 // FaultKindCounts is the accounting of one fault kind's sweep of one
-// workload, mirroring the reorder counters: states constructed, recoveries
-// run, verdicts reused from the prune cache, and states that neither
-// mounted nor repaired.
+// workload, mirroring the reorder counters: states enumerated, recoveries
+// run, verdicts reused from the prune cache, states never constructed
+// thanks to an enumeration-time class hit, and states that neither mounted
+// nor repaired.
 type FaultKindCounts struct {
 	// Kind is the fault kind's canonical name ("torn", "corrupt",
 	// "misdirect").
@@ -256,7 +264,10 @@ type FaultKindCounts struct {
 	States  int    `json:"states"`
 	Checked int    `json:"checked,omitempty"`
 	Pruned  int    `json:"pruned,omitempty"`
-	Broken  int    `json:"broken,omitempty"`
+	// ClassSkip is an additive field: shards written before it load with
+	// zero (their class hits are inside Pruned/Checked instead).
+	ClassSkip int `json:"classskip,omitempty"`
+	Broken    int `json:"broken,omitempty"`
 }
 
 // DoneRecord marks a campaign (shard) that ran its generation and testing

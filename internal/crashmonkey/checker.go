@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"b3/internal/bugs"
 	"b3/internal/filesys"
@@ -43,21 +44,75 @@ type crashIndex struct {
 	paths   map[uint64][]string
 	inodes  map[uint64]*inodeState
 	dirs    []string // all directory paths, root included
+
+	// slab is the recycled backing array the index hands inodeState records
+	// out of; used counts records handed out this build (slab-backed or
+	// not). Pointers into slab stay valid because the slab is sized at
+	// release time and never reallocated mid-build.
+	slab []inodeState
+	used int
 }
 
-func buildIndex(m filesys.MountedFS) (*crashIndex, error) {
-	idx := &crashIndex{
+// crashIndexPool recycles indexes across crash states: a sweep builds one
+// index per checked state, and every build populates maps and an inodeState
+// per inode. Reuse keeps that at steady-state zero allocation.
+var crashIndexPool = sync.Pool{New: func() any {
+	return &crashIndex{
 		entries: make(map[dentryKey]filesys.Stat),
 		paths:   make(map[uint64][]string),
 		inodes:  make(map[uint64]*inodeState),
 	}
+}}
+
+// newInodeState hands out a zeroed record, slab-backed while capacity
+// lasts. The slab is never grown mid-build (appending could move earlier
+// records out from under the pointers held in idx.inodes), so overflow
+// records are allocated individually and release resizes the slab to fit.
+func (idx *crashIndex) newInodeState() *inodeState {
+	idx.used++
+	if idx.used <= cap(idx.slab) {
+		idx.slab = idx.slab[:idx.used]
+		is := &idx.slab[idx.used-1]
+		*is = inodeState{}
+		return is
+	}
+	return new(inodeState)
+}
+
+// release resets the index and returns it to the pool. The caller must be
+// done with everything the index handed out — inodeState pointers, file
+// contents, path slices — as all of it is recycled or dropped.
+func (idx *crashIndex) release() {
+	if idx == nil {
+		return
+	}
+	clear(idx.entries)
+	clear(idx.paths)
+	clear(idx.inodes)
+	idx.dirs = idx.dirs[:0]
+	if idx.used > cap(idx.slab) {
+		idx.slab = make([]inodeState, 0, idx.used)
+	} else {
+		for i := range idx.slab {
+			idx.slab[i] = inodeState{} // drop data/xattr references
+		}
+		idx.slab = idx.slab[:0]
+	}
+	idx.used = 0
+	crashIndexPool.Put(idx)
+}
+
+func buildIndex(m filesys.MountedFS) (*crashIndex, error) {
+	idx := crashIndexPool.Get().(*crashIndex)
 	rootStat, err := m.Stat("/")
 	if err != nil {
+		idx.release()
 		return nil, err
 	}
 	idx.paths[rootStat.Ino] = append(idx.paths[rootStat.Ino], "/")
 	idx.dirs = append(idx.dirs, "/")
 	if err := idx.captureInode(m, "/", rootStat); err != nil {
+		idx.release()
 		return nil, err
 	}
 	var walk func(dirPath string, dirIno uint64) error
@@ -87,6 +142,7 @@ func buildIndex(m filesys.MountedFS) (*crashIndex, error) {
 		return nil
 	}
 	if err := walk("/", rootStat.Ino); err != nil {
+		idx.release()
 		return nil, err
 	}
 	for ino := range idx.paths {
@@ -105,7 +161,8 @@ func (idx *crashIndex) captureInode(m filesys.MountedFS, path string, st filesys
 	if _, ok := idx.inodes[st.Ino]; ok {
 		return nil
 	}
-	is := &inodeState{stat: st}
+	is := idx.newInodeState()
+	is.stat = st
 	switch st.Kind {
 	case filesys.KindRegular:
 		data, err := m.ReadFile(path)

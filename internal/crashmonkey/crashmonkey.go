@@ -41,8 +41,20 @@ type Monkey struct {
 	// overlay-scan fingerprint) per state, instead of the rolling
 	// ReplayCursor. It is the cross-check mode for the incremental engine —
 	// identical fingerprints and verdicts, strictly more replayed writes
-	// (docs/TESTING.md).
+	// (docs/TESTING.md). Scratch mode also implies both No*Prune flags: the
+	// reference engine stays entirely unpruned.
 	ScratchStates bool
+	// NoClassPrune disables enumeration-time class pruning: every crash
+	// state is constructed even when its fingerprint was already judged,
+	// and verdict reuse falls back to the post-construction disk-tier
+	// lookup. Cross-check mode — identical verdicts, strictly more
+	// constructed states.
+	NoClassPrune bool
+	// NoCommutePrune disables commutativity pruning of reorder drop-sets:
+	// drop-sets provably byte-identical to an earlier canonical one are
+	// constructed (or class-pruned) individually instead of being skipped at
+	// enumeration time. Cross-check mode — identical verdicts and reports.
+	NoCommutePrune bool
 	// Meter, when non-nil, counts block-level construction and read IO
 	// (writes replayed, blocks read, buffer bytes allocated).
 	Meter *blockdev.BlockMeter
@@ -57,6 +69,7 @@ type Monkey struct {
 type Profile struct {
 	Workload     *workload.Workload
 	base         *blockdev.MemDisk
+	overlay      *blockdev.Snapshot
 	rec          *blockdev.Recorder
 	expectations []*Expectation
 	// ProfileDur is the wall time of the profiling phase (§6.3).
@@ -80,7 +93,14 @@ type Profile struct {
 // (recovery writes land in the fork, never the rolling base); in scratch
 // mode it replays the whole log prefix onto a fresh snapshot. Returns the
 // state device and the number of writes replayed to build it.
-func (p *Profile) state(cp int, scratch bool, meter *blockdev.BlockMeter) (*blockdev.Snapshot, int64, error) {
+//
+// classified, when non-nil, is consulted with the state's fingerprint after
+// the (incremental) seek but before the fork: returning true means the
+// caller already knows the verdict for that fingerprint, and state returns
+// a nil snapshot without constructing anything. Scratch mode ignores it —
+// the cross-check engine always constructs.
+func (p *Profile) state(cp int, scratch bool, meter *blockdev.BlockMeter,
+	classified func(fp uint64) bool) (*blockdev.Snapshot, int64, error) {
 	if scratch {
 		crash := blockdev.NewSnapshot(p.base)
 		// Meter the scratch engine too, or the -v cross-check comparison
@@ -105,7 +125,34 @@ func (p *Profile) state(cp int, scratch bool, meter *blockdev.BlockMeter) (*bloc
 	if err != nil {
 		return nil, n, err
 	}
+	if classified != nil && classified(p.cursor.Fingerprint()) {
+		return nil, n, nil
+	}
 	return p.cursor.Fork(), n, nil
+}
+
+// Release returns the profile's device memory to the shared pools: the
+// rolling cursor's overlay, the profiling overlay, and the pooled base
+// image itself. The profile — and anything still reading through it, like
+// an unreleased crash-state fork — must not be used afterwards. Campaign
+// workers call it once a workload's sweeps are done, which is what lets
+// ProfileWorkload serve every workload from a recycled device instead of
+// allocating a device-sized table each time.
+func (p *Profile) Release() {
+	p.cursorMu.Lock()
+	if p.cursor != nil {
+		p.cursor.Release()
+		p.cursor = nil
+	}
+	p.cursorMu.Unlock()
+	if p.overlay != nil {
+		p.overlay.Release()
+		p.overlay = nil
+	}
+	if p.base != nil {
+		p.base.Recycle()
+		p.base = nil
+	}
 }
 
 // Checkpoints reports the number of persistence points recorded.
@@ -113,6 +160,10 @@ func (p *Profile) Checkpoints() int { return p.rec.Checkpoints() }
 
 // WritesRecorded reports the number of block writes profiled.
 func (p *Profile) WritesRecorded() int { return p.rec.WritesRecorded() }
+
+// Log returns the recorded write log the crash-state sweeps replay. The
+// slice is owned by the profile; callers must not mutate it.
+func (p *Profile) Log() []blockdev.Record { return p.rec.Log() }
 
 // WritesBetweenCheckpoints supports the §4.1 crash-state-space ablation.
 func (p *Profile) WritesBetweenCheckpoints() []int {
@@ -217,24 +268,33 @@ func (mk *Monkey) ProfileWorkload(w *workload.Workload) (*Profile, error) {
 	if blocks == 0 {
 		blocks = DefaultDeviceBlocks
 	}
-	base := blockdev.NewMemDisk(blocks)
+	// The base and the profiling overlay both cycle through the shared
+	// pools: Profile.Release hands them back once the workload's sweeps are
+	// done, so a campaign reuses one device-sized table per worker instead
+	// of allocating one per workload (the dominant term of the pre-pool
+	// allocation profile).
+	base := blockdev.NewPooledMemDisk(blocks)
 	if err := mk.FS.Mkfs(base); err != nil {
+		base.Recycle()
 		return nil, fmt.Errorf("crashmonkey: mkfs: %w", err)
 	}
-	overlay := blockdev.NewSnapshot(base)
+	overlay := blockdev.NewPooledSnapshot(base)
 	rec := blockdev.NewRecorder(overlay)
+	p := &Profile{Workload: w, base: base, overlay: overlay, rec: rec}
 	m, err := mk.FS.Mount(rec)
 	if err != nil {
+		p.Release()
 		return nil, fmt.Errorf("crashmonkey: mount: %w", err)
 	}
 	tracker := NewTracker(mk.FS.Guarantees())
-	p := &Profile{Workload: w, base: base, rec: rec}
 
 	for i, op := range w.Ops {
 		if err := workload.Apply(m, op, i); err != nil {
+			p.Release()
 			return nil, fmt.Errorf("crashmonkey: op %d (%s): %w", i, op, err)
 		}
 		if err := tracker.Apply(op, i); err != nil {
+			p.Release()
 			return nil, fmt.Errorf("crashmonkey: oracle op %d (%s): %w", i, op, err)
 		}
 		if op.Kind.IsPersistence() {
@@ -254,24 +314,56 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 		return nil, fmt.Errorf("crashmonkey: checkpoint %d out of range (1..%d)", cp, len(p.expectations))
 	}
 	res := &Result{Workload: p.Workload, FSName: mk.FS.Name(), Checkpoint: cp}
+	exp := p.expectations[cp-1]
+
+	// Class pruning hoists the cache lookup to before construction: the
+	// incremental cursor's fingerprint is O(1) after the seek, so a state
+	// whose (content, oracle) class was already judged is never forked at
+	// all. haveKey records that the hoisted lookup ran (and missed), so the
+	// post-construction lookup below is skipped rather than repeated.
+	var diskKey stateKey
+	var haveKey bool
+	var hit *cachedVerdict
+	var classified func(fp uint64) bool
+	if mk.Prune != nil && !mk.NoClassPrune {
+		classified = func(fp uint64) bool {
+			res.StateHash = fp
+			diskKey = stateKey{state: fp, oracle: exp.Fingerprint() ^ mk.pruneSalt()}
+			haveKey = true
+			v, ok := mk.Prune.classify(diskKey)
+			hit = v
+			return ok
+		}
+	}
 
 	replayStart := time.Now()
-	crash, replayed, err := p.state(cp, mk.ScratchStates, mk.Meter)
+	crash, replayed, err := p.state(cp, mk.ScratchStates, mk.Meter, classified)
 	if err != nil {
 		return nil, fmt.Errorf("crashmonkey: replay: %w", err)
+	}
+	res.ReplayedWrites = replayed
+	res.ReplayDur = time.Since(replayStart)
+	if crash == nil {
+		// The hoisted lookup hit: the verdict is reused without the state
+		// ever existing. Reported as a disk-tier prune — the verdict source
+		// is the same cache line; only the construction was saved.
+		res.Pruned = true
+		res.PrunedBy = "disk"
+		res.Mountable = hit.mountable
+		res.FsckRun = hit.fsckRun
+		res.FsckRepaired = hit.fsckRepaired
+		res.Findings = cloneFindings(hit.findings)
+		return res, nil
 	}
 	// Forks hold only recovery/checker writes; hand their buffers back to
 	// the pool once the verdict is composed (nothing below retains device
 	// memory: findings are strings, the index copies file contents).
 	defer crash.Release()
-	res.ReplayedWrites = replayed
-	res.ReplayDur = time.Since(replayStart)
 
-	exp := p.expectations[cp-1]
-	var diskKey stateKey
-	if mk.Prune != nil {
+	if mk.Prune != nil && !haveKey {
 		res.StateHash = crash.Fingerprint()
 		diskKey = stateKey{state: res.StateHash, oracle: exp.Fingerprint() ^ mk.pruneSalt()}
+		haveKey = true
 		if v, ok := mk.Prune.lookupDisk(diskKey); ok {
 			res.Pruned = true
 			res.PrunedBy = "disk"
@@ -314,8 +406,11 @@ func (mk *Monkey) TestCheckpoint(p *Profile, cp int) (*Result, error) {
 	res.Mountable = true
 
 	// One walk of the recovered state feeds both the tree-tier hash and
-	// the read checks.
+	// the read checks. The index (maps, inode slab, file contents) is
+	// recycled once the verdict is composed — findings are strings, so
+	// nothing below retains index memory.
 	idx, ierr := buildIndex(m)
+	defer idx.release()
 
 	// Tree tier: distinct disk images recovering to the same logical tree
 	// share a verdict (the representative-testing insight).
@@ -381,6 +476,7 @@ func (mk *Monkey) Run(w *workload.Workload) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer p.Release()
 	if len(p.expectations) == 0 {
 		return nil, fmt.Errorf("crashmonkey: workload %s has no persistence point", w.ID)
 	}
@@ -393,6 +489,7 @@ func (mk *Monkey) RunAll(w *workload.Workload) ([]*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer p.Release()
 	out := make([]*Result, 0, len(p.expectations))
 	for cp := 1; cp <= len(p.expectations); cp++ {
 		r, err := mk.TestCheckpoint(p, cp)

@@ -36,9 +36,14 @@ type FaultKindReport struct {
 	// States is the number of crash states constructed.
 	States int
 	// Checked counts states whose recovery actually ran; Pruned counts
-	// states whose verdict was reused from the prune cache.
+	// states whose verdict was reused from the prune cache after
+	// construction.
 	Checked int
 	Pruned  int
+	// ClassSkipped counts states never constructed at all: the enumerator's
+	// O(1) delta fingerprint matched an already-judged class, and the cached
+	// verdict was tallied directly (-no-class-prune restores construction).
+	ClassSkipped int
 	// Mountable counts states that recovered without help; Repaired counts
 	// states that needed fsck and then mounted.
 	Mountable int
@@ -153,7 +158,26 @@ func (mk *Monkey) ExploreFaults(p *Profile, model blockdev.FaultModel) (*FaultRe
 				mk.Meter.BlocksReplayed.Add(kr.ReplayedWrites)
 			}
 		} else {
-			replayed, err := blockdev.ForEachFaultStateIncremental(p.base, log, kind, model.Sector(), mk.Meter,
+			// Enumeration-time class pruning: a state whose delta
+			// fingerprint matched an already-judged class is tallied from
+			// the cached verdict without ever being built. Skipped states
+			// still count toward States with their own Desc, so the report
+			// stays byte-identical with the escape-hatch modes.
+			var opts blockdev.FaultEnumOpts
+			if mk.Prune != nil && !mk.NoClassPrune {
+				opts.Seen = func(st blockdev.FaultState, fp uint64) bool {
+					key := stateKey{state: fp, oracle: salt}
+					v, ok := mk.Prune.classify(key)
+					if !ok {
+						return false
+					}
+					kr.States++
+					kr.ClassSkipped++
+					kr.tally(st.Desc, v)
+					return true
+				}
+			}
+			stats, err := blockdev.ForEachFaultStatePruned(p.base, log, kind, model.Sector(), opts, mk.Meter,
 				func(st blockdev.FaultState, crash *blockdev.Snapshot) bool {
 					ok, herr := handle(st.Desc, crash)
 					if herr != nil {
@@ -162,7 +186,7 @@ func (mk *Monkey) ExploreFaults(p *Profile, model blockdev.FaultModel) (*FaultRe
 					}
 					return ok
 				})
-			kr.ReplayedWrites = replayed
+			kr.ReplayedWrites = stats.Replayed
 			if err != nil && sweepErr == nil {
 				sweepErr = err
 			}

@@ -143,7 +143,7 @@ func TestFaultExplorationIsDeterministic(t *testing.T) {
 		prunedChecked, baseChecked := 0, 0
 		for i, kr := range pruned.Kinds {
 			want := base.Kinds[i]
-			if kr.States != want.States || kr.Checked+kr.Pruned != kr.States ||
+			if kr.States != want.States || kr.Checked+kr.Pruned+kr.ClassSkipped != kr.States ||
 				kr.Mountable != want.Mountable || kr.Repaired != want.Repaired ||
 				!reflect.DeepEqual(kr.Broken, want.Broken) {
 				t.Fatalf("%s/%s: pruned sweep diverges: %+v vs %+v", fs.name, kr.Kind, kr, want)

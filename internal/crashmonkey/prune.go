@@ -42,6 +42,20 @@ type stateKey struct {
 	oracle uint64
 }
 
+// ClassIndex is the enumeration-time face of the disk tier: the pruned
+// blockdev enumerators hand every state's fingerprint to a Seen callback
+// *before* constructing the state, and the callback consults a ClassIndex —
+// a fingerprint already classified means the state is never forked, never
+// replayed, never mounted. PruneCache implements it over its disk tier, so
+// the same verdict entries serve both the post-construction lookups and the
+// enumeration-time skips. The interface is sealed (unexported method): the
+// verdict representation stays private to this package.
+type ClassIndex interface {
+	// classify returns the cached verdict for a (state, oracle) fingerprint
+	// pair, counting the hit as a class skip rather than a disk hit.
+	classify(k stateKey) (*cachedVerdict, bool)
+}
+
 // cachedVerdict is the reusable outcome of one fully checked crash state.
 type cachedVerdict struct {
 	mountable    bool
@@ -54,6 +68,10 @@ type cachedVerdict struct {
 type PruneStats struct {
 	// DiskHits counts states skipped entirely (identical disk contents).
 	DiskHits int64
+	// ClassHits counts states skipped before construction: the enumerator
+	// classified the fingerprint through the ClassIndex, so the state was
+	// never forked or replayed, let alone checked.
+	ClassHits int64
 	// TreeHits counts states whose recovery ran but whose oracle checks
 	// were skipped (identical recovered tree).
 	TreeHits int64
@@ -73,7 +91,7 @@ type PruneStats struct {
 }
 
 // Skipped returns the total number of oracle checks avoided.
-func (s PruneStats) Skipped() int64 { return s.DiskHits + s.TreeHits }
+func (s PruneStats) Skipped() int64 { return s.DiskHits + s.ClassHits + s.TreeHits }
 
 // Evictions returns the total entries dropped across both tiers.
 func (s PruneStats) Evictions() int64 { return s.DiskEvictions + s.TreeEvictions }
@@ -144,6 +162,7 @@ type PruneCache struct {
 	tree *lruTier[[]Finding]
 
 	diskHits      atomic.Int64
+	classHits     atomic.Int64
 	treeHits      atomic.Int64
 	misses        atomic.Int64
 	diskEvictions atomic.Int64
@@ -178,6 +197,7 @@ func (c *PruneCache) Stats() PruneStats {
 	c.mu.Unlock()
 	return PruneStats{
 		DiskHits:      c.diskHits.Load(),
+		ClassHits:     c.classHits.Load(),
 		TreeHits:      c.treeHits.Load(),
 		Misses:        c.misses.Load(),
 		DiskStates:    int64(diskStates),
@@ -194,6 +214,18 @@ func (c *PruneCache) lookupDisk(k stateKey) (*cachedVerdict, bool) {
 	c.mu.Unlock()
 	if ok {
 		c.diskHits.Add(1)
+	}
+	return v, ok
+}
+
+// classify implements ClassIndex: a disk-tier lookup counted as an
+// enumeration-time class skip.
+func (c *PruneCache) classify(k stateKey) (*cachedVerdict, bool) {
+	c.mu.Lock()
+	v, ok := c.disk.get(k)
+	c.mu.Unlock()
+	if ok {
+		c.classHits.Add(1)
 	}
 	return v, ok
 }

@@ -55,9 +55,17 @@ type ReorderReport struct {
 	States int
 	// Checked counts states whose recovery actually ran; Pruned counts
 	// states whose verdict was reused from the prune cache (byte-identical
-	// disk contents already judged).
+	// disk contents already judged) after construction.
 	Checked int
 	Pruned  int
+	// ClassSkipped counts states never constructed at all: the enumerator's
+	// O(1) delta fingerprint matched an already-judged class, and the cached
+	// verdict was tallied directly (-no-class-prune restores construction).
+	ClassSkipped int
+	// CommuteSkipped counts drop-set states skipped as provably
+	// byte-identical to an earlier canonical representative, tallied with
+	// the representative's verdict (-no-commute-prune restores them).
+	CommuteSkipped int
 	// Mountable counts states that recovered without help; Repaired counts
 	// states that needed fsck and then mounted.
 	Mountable int
@@ -93,10 +101,10 @@ func (mk *Monkey) ExploreReorder(p *Profile, k int) (*ReorderReport, error) {
 		report.PerEpoch[i].Writes = len(ep.Writes)
 	}
 
-	// handle judges one constructed state: fingerprints come from the
-	// snapshot (O(1) on the incremental path, an overlay scan on the
-	// scratch path — same value either way).
-	handle := func(st blockdev.ReorderState, crash *blockdev.Snapshot) (bool, error) {
+	// handle judges one constructed state and returns its verdict:
+	// fingerprints come from the snapshot (O(1) on the incremental path, an
+	// overlay scan on the scratch path — same value either way).
+	handle := func(st blockdev.ReorderState, crash *blockdev.Snapshot) (*cachedVerdict, error) {
 		report.States++
 		var key stateKey
 		if mk.Prune != nil {
@@ -104,26 +112,27 @@ func (mk *Monkey) ExploreReorder(p *Profile, k int) (*ReorderReport, error) {
 			if v, ok := mk.Prune.lookupDisk(key); ok {
 				report.Pruned++
 				report.tally(st, v)
-				return true, nil
+				return v, nil
 			}
 		}
 		report.Checked++
 		v, err := mk.recoverReorderState(crash)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		if mk.Prune != nil {
 			mk.Prune.misses.Add(1)
 			mk.Prune.storeDisk(key, v)
 		}
 		report.tally(st, v)
-		return true, nil
+		return v, nil
 	}
 
 	var sweepErr error
 	if mk.ScratchStates {
 		// Cross-check engine: every state from a fresh snapshot, replaying
-		// all prior epochs (the pre-cursor behaviour).
+		// all prior epochs (the pre-cursor behaviour), no enumeration-time
+		// pruning of any kind.
 		blockdev.ForEachReorderState(log, k, func(st blockdev.ReorderState, apply func(blockdev.Device) error) bool {
 			crash := blockdev.NewSnapshot(p.base)
 			crash.SetMeter(mk.Meter)
@@ -132,27 +141,83 @@ func (mk *Monkey) ExploreReorder(p *Profile, k int) (*ReorderReport, error) {
 				return false
 			}
 			report.ReplayedWrites += scratchReplayCost(epochs, st)
-			ok, err := handle(st, crash)
-			if err != nil {
+			if _, err := handle(st, crash); err != nil {
 				sweepErr = err
 				return false
 			}
-			return ok
+			return true
 		})
 		if mk.Meter != nil {
 			mk.Meter.BlocksReplayed.Add(report.ReplayedWrites)
 		}
 	} else {
-		replayed, err := blockdev.ForEachReorderStateIncremental(p.base, log, k, mk.Meter,
+		// Enumeration-time pruning: class hits are tallied from the O(1)
+		// delta fingerprint before any state is built, and commute skips
+		// reuse the verdict their canonical representative was given. Every
+		// skipped state still counts toward States and tally with its own
+		// Desc, so the report (Broken list included) stays byte-identical
+		// with the escape-hatch modes.
+		commute := !mk.NoCommutePrune
+		// reps maps drop-set Desc -> verdict for the current epoch:
+		// canonical representatives always precede their skips within one
+		// epoch, so the map resets on epoch change.
+		var reps map[string]*cachedVerdict
+		repEpoch := -2
+		repsFor := func(epoch int) map[string]*cachedVerdict {
+			if epoch != repEpoch {
+				reps = make(map[string]*cachedVerdict)
+				repEpoch = epoch
+			}
+			return reps
+		}
+		var opts blockdev.ReorderEnumOpts
+		if commute {
+			opts.Commute = true
+			opts.OnCommuteSkip = func(st blockdev.ReorderState, repDesc string) {
+				v := repsFor(st.Epoch)[repDesc]
+				if v == nil {
+					if sweepErr == nil {
+						sweepErr = fmt.Errorf("crashmonkey: commute representative %q of %q has no verdict", repDesc, st.Desc)
+					}
+					return
+				}
+				report.States++
+				report.CommuteSkipped++
+				report.tally(st, v)
+			}
+		}
+		if mk.Prune != nil && !mk.NoClassPrune {
+			opts.Seen = func(st blockdev.ReorderState, fp uint64) bool {
+				key := stateKey{state: fp, oracle: mk.pruneSalt() ^ reorderOracleSalt}
+				v, ok := mk.Prune.classify(key)
+				if !ok {
+					return false
+				}
+				report.States++
+				report.ClassSkipped++
+				report.tally(st, v)
+				if commute && st.Dropped != nil {
+					repsFor(st.Epoch)[st.Desc] = v
+				}
+				return true
+			}
+		}
+		stats, err := blockdev.ForEachReorderStatePruned(p.base, log, k, opts, mk.Meter,
 			func(st blockdev.ReorderState, crash *blockdev.Snapshot) bool {
-				ok, herr := handle(st, crash)
+				if sweepErr != nil {
+					return false
+				}
+				v, herr := handle(st, crash)
 				if herr != nil {
 					sweepErr = herr
 					return false
 				}
-				return ok
+				if commute && st.Dropped != nil {
+					repsFor(st.Epoch)[st.Desc] = v
+				}
+				return true
 			})
-		report.ReplayedWrites = replayed
+		report.ReplayedWrites = stats.Replayed
 		if err != nil && sweepErr == nil {
 			sweepErr = err
 		}

@@ -156,9 +156,10 @@ fsync /A/baz
 			t.Fatalf("%s: verdict accounting broken: %d + %d != %d",
 				fs.name, report.Mountable, report.Repaired, report.States)
 		}
-		if report.Checked+report.Pruned != report.States {
-			t.Fatalf("%s: prune accounting broken: %d + %d != %d",
-				fs.name, report.Checked, report.Pruned, report.States)
+		if report.Checked+report.Pruned+report.ClassSkipped+report.CommuteSkipped != report.States {
+			t.Fatalf("%s: prune accounting broken: %d + %d + %d + %d != %d",
+				fs.name, report.Checked, report.Pruned,
+				report.ClassSkipped, report.CommuteSkipped, report.States)
 		}
 		perEpoch := 0
 		for _, e := range report.PerEpoch {

@@ -68,7 +68,15 @@ func (n *Node) Clone() *Node { return n.clone() }
 
 // clone deep-copies the node.
 func (n *Node) clone() *Node {
-	c := &Node{Ino: n.Ino, Kind: n.Kind, Nlink: n.Nlink, Target: n.Target}
+	c := new(Node)
+	n.cloneInto(c)
+	return c
+}
+
+// cloneInto deep-copies the node into c (overwriting it). Split from clone
+// so Tree.Clone can fill arena slots instead of allocating per node.
+func (n *Node) cloneInto(c *Node) {
+	*c = Node{Ino: n.Ino, Kind: n.Kind, Nlink: n.Nlink, Target: n.Target}
 	if n.Data != nil {
 		c.Data = append([]byte(nil), n.Data...)
 	}
@@ -87,7 +95,6 @@ func (n *Node) clone() *Node {
 			c.Children[k] = v
 		}
 	}
-	return c
 }
 
 // Tree is a complete in-memory file system image.
@@ -664,11 +671,21 @@ func (t *Tree) Walk(fn func(path string, n *Node)) {
 	walk("", t.Root())
 }
 
-// Clone deep-copies the tree.
+// Clone deep-copies the tree. The copied nodes live in one arena slice —
+// a single allocation instead of one per inode — which is safe because the
+// arena is sized exactly upfront and never appended to afterwards (a grow
+// would move slots out from under the node map's pointers). Nodes added to
+// the clone later are allocated individually as usual; the arena stays
+// alive until the cloned tree is collected.
 func (t *Tree) Clone() *Tree {
 	c := &Tree{nodes: make(map[uint64]*Node, len(t.nodes)), nextIno: t.nextIno}
+	arena := make([]Node, len(t.nodes))
+	i := 0
 	for ino, n := range t.nodes {
-		c.nodes[ino] = n.clone()
+		slot := &arena[i]
+		i++
+		n.cloneInto(slot)
+		c.nodes[ino] = slot
 	}
 	return c
 }

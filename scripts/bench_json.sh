@@ -1,8 +1,10 @@
 #!/usr/bin/env sh
 # bench_json.sh — run the crash-state construction / reorder / fault /
 # campaign benchmarks once (-benchtime=1x keeps this CI-cheap) and emit the results
-# as BENCH_construct.json: ns/op, replayed-writes/state, allocs/op per
-# benchmark. The committed file at the repo root is the perf baseline each
+# as BENCH_construct.json: ns/op, replayed-writes/state, allocs/op, B/state
+# (per-state allocation), and the enumeration-time skip counters
+# (states-skipped, class-skipped-states) per benchmark. The committed file
+# at the repo root is the perf baseline each
 # PR's numbers are compared against; the CI job is non-blocking so a noisy
 # runner never fails a build, but the JSON lands in the job log and artifact
 # for trend inspection.
@@ -13,7 +15,7 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_construct.json}"
 
 go test -run '^$' \
-  -bench 'BenchmarkCrashMonkeyConstructCrashState|BenchmarkAblationReorderExploration|BenchmarkAblationFaultExploration|BenchmarkTable4Seq1$' \
+  -bench 'BenchmarkCrashMonkeyConstructCrashState|BenchmarkAblationReorderExploration|BenchmarkAblationFaultExploration|BenchmarkTable4Seq1$|BenchmarkCampaignReorderK[12]$' \
   -benchtime 1x -benchmem . |
   go run ./cmd/benchjson >"$out"
 
