@@ -137,9 +137,11 @@ func BenchmarkCrashMonkeyProfile(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mk.ProfileWorkload(w); err != nil {
+		p, err := mk.ProfileWorkload(w)
+		if err != nil {
 			b.Fatal(err)
 		}
+		p.Release()
 	}
 }
 
@@ -528,6 +530,7 @@ func BenchmarkAblationCrashPointSpace(b *testing.B) {
 		}
 		b.ReportMetric(float64(p.Checkpoints()), "crash-points")
 		b.ReportMetric(float64(writes), "block-writes")
+		p.Release()
 	}
 }
 
@@ -542,6 +545,7 @@ func BenchmarkAblationPrefixReplay(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer p.Release()
 	states := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -228,6 +228,11 @@ func (b Bounds) paramChoices(kind workload.OpKind) []choice {
 	}
 	fileTargets := func(p string) []string { return []string{p, parentOf(p)} }
 
+	// Phase 2 parameterizes only the data/metadata ops ACE's bounds include;
+	// persistence ops are chosen in phase 3, OpNone is a sentinel, and
+	// symlink is outside the paper's default phase-2 set. An unlisted kind
+	// yields no choices and the caller drops the skeleton.
+	//lint:allow exhaustenum phase-2 subset is the ACE §5 op table, not the full OpKind enum
 	switch kind {
 	case workload.OpCreat, workload.OpMkfifo:
 		for _, f := range b.Files {

@@ -258,6 +258,8 @@ func (d *depBuilder) ensureXattr(path, name string) bool {
 // cannot be made valid (the workload is discarded).
 func (d *depBuilder) prepare(op workload.Op) bool {
 	switch op.Kind {
+	case workload.OpNone:
+		return false // sentinel, never a valid core op
 	case workload.OpCreat, workload.OpMkfifo, workload.OpSymlink:
 		target := op.Path
 		if op.Kind == workload.OpSymlink {
@@ -345,6 +347,8 @@ func (d *depBuilder) prepare(op workload.Op) bool {
 func (d *depBuilder) apply(op workload.Op) bool {
 	var err error
 	switch op.Kind {
+	case workload.OpNone:
+		return false // sentinel, never a valid core op
 	case workload.OpCreat:
 		_, err = d.model.Create(op.Path)
 	case workload.OpMkdir:

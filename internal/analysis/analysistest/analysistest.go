@@ -1,0 +1,106 @@
+// Package analysistest runs an analyzer over a fixture package and checks
+// its diagnostics against want comments, mirroring the shape of
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// alone (the build container has no module proxy; see package analysis).
+//
+// A fixture is a directory holding one self-contained package (stdlib
+// imports only). Expectations ride on the offending line:
+//
+//	s.view = blockdev.ReadView(dev, 0) // want "stored in struct field"
+//
+// Each `want "re"` is a regexp that must match a diagnostic reported on
+// that line; multiple quoted patterns may follow one want. Every
+// diagnostic must be wanted and every want matched, or the test fails
+// with the full unmatched set. Suppression is part of the contract under
+// test: diagnostics are checked after //lint:allow filtering, so fixtures
+// can pin the escape hatch's behavior too.
+package analysistest
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"b3/internal/analysis"
+)
+
+// wantRE matches one quoted expectation; expectations follow "// want".
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir, applies the analyzer, and
+// reports any mismatch between diagnostics and want comments on t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	loader, err := analysis.NewLoader("")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := loader.LoadDir(dir, "fix/"+a.Name)
+	if err != nil {
+		t.Fatalf("analysistest: loading fixture %s: %v", dir, err)
+	}
+	diags, _, err := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	var wants []*want
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				for _, m := range wantRE.FindAllStringSubmatch(text[idx:], -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: m[1]})
+				}
+			}
+		}
+	}
+
+	matchWant := func(pos token.Position, msg string) bool {
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(msg) {
+				w.matched = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, d := range diags {
+		if !matchWant(d.Pos, d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("no diagnostic at %s:%d matching %q", w.file, w.line, w.raw)
+		}
+	}
+	if t.Failed() {
+		var all []string
+		for _, d := range diags {
+			all = append(all, "  "+d.String())
+		}
+		t.Logf("all diagnostics:\n%s", strings.Join(all, "\n"))
+	}
+}

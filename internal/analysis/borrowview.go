@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BorrowView reports borrowed block views that escape their lender.
+//
+// blockdev.ReadView and the ReadBlockView methods lend a slice that aliases
+// the device's live storage — pooled overlay buffers that the next write,
+// Release, or pool recycle repurposes (blockdev.go: MemDisk.ReadBlockView,
+// Snapshot.ReadBlockView). The contract is "read it now, copy it if you
+// keep it": a view stored into a struct field, package variable, map, or
+// goroutine outlives the loan and silently reads someone else's block once
+// the buffer is recycled — a corruption no test catches until schedules
+// align. Passing a view down a call chain or returning it re-lends under
+// the same contract and is allowed.
+var BorrowView = &Analyzer{
+	Name: "borrowview",
+	Doc: "report borrowed ReadView/ReadBlockView slices stored into fields, " +
+		"package variables, maps, channels, or goroutines (they alias pooled " +
+		"device memory and are only valid until the next write or Release)",
+	Run: runBorrowView,
+}
+
+// isViewCall reports whether call lends a borrowed block view: a call to a
+// function or method named ReadView or ReadBlockView whose first result is
+// []byte. Matching is by name and shape, not import path, so fixtures and
+// future devices are covered by convention.
+func isViewCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || (fn.Name() != "ReadView" && fn.Name() != "ReadBlockView") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	slice, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := slice.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}
+
+func runBorrowView(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		funcBodies(file, func(name string, body *ast.BlockStmt) {
+			checkBorrowBody(pass, body)
+		})
+	}
+	return nil
+}
+
+// checkBorrowBody analyzes one function body. Nested function literals are
+// walked too (their own view variables are handled when funcBodies yields
+// their body; here only stores reached through this body's views fire).
+func checkBorrowBody(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect local variables holding borrowed views, in source
+	// order (v := ReadView(...); w := v; u := v[2:8] all count). Nested
+	// literals are skipped: their locals are their own body's concern.
+	viewVars := make(map[*types.Var]bool)
+	isViewExpr := func(e ast.Expr) bool {
+		for {
+			switch x := ast.Unparen(e).(type) {
+			case *ast.CallExpr:
+				return isViewCall(info, x)
+			case *ast.SliceExpr:
+				e = x.X
+			case *ast.Ident:
+				v, ok := info.Uses[x].(*types.Var)
+				return ok && viewVars[v]
+			default:
+				return false
+			}
+		}
+	}
+	trackAssign := func(lhs, rhs []ast.Expr) {
+		if len(rhs) == 0 || !isViewExpr(rhs[0]) {
+			return
+		}
+		// Both v := view and v, err := view(...) bind the view to lhs[0].
+		if id, ok := lhs[0].(*ast.Ident); ok {
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				viewVars[v] = true
+			} else if v, ok := info.Uses[id].(*types.Var); ok && !isPkgLevel(v) {
+				viewVars[v] = true
+			}
+		}
+	}
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Rhs) == 1 {
+				trackAssign(n.Lhs, n.Rhs)
+			} else {
+				for i := range n.Rhs {
+					trackAssign(n.Lhs[i:i+1], n.Rhs[i:i+1])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(n.Values) == 1 && isViewExpr(n.Values[0]) && len(n.Names) > 0 {
+				if v, ok := info.Defs[n.Names[0]].(*types.Var); ok {
+					viewVars[v] = true
+				}
+			}
+		}
+		return true
+	})
+
+	usesViewVar := func(root ast.Node) bool {
+		found := false
+		ast.Inspect(root, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && viewVars[v] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// innermost reports whether the stack crosses no function literal below
+	// body's root — used to avoid double-reporting stores of fresh view
+	// calls inside nested literals (their own body walk reports those).
+	innermost := func(stack []ast.Node) bool {
+		_, i := enclosingFuncLit(stack)
+		return i < 0
+	}
+	// reportable: fresh view-call stores fire only on the innermost walk;
+	// stores of this body's tracked variables fire from anywhere.
+	reportable := func(e ast.Expr, stack []ast.Node) bool {
+		if !isViewExpr(e) {
+			return false
+		}
+		if usesViewVar(e) {
+			return true
+		}
+		return innermost(stack)
+	}
+
+	// Pass 2: report escapes.
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			check := func(lhs, rhs ast.Expr) {
+				if !reportable(rhs, stack) {
+					return
+				}
+				switch l := ast.Unparen(lhs).(type) {
+				case *ast.Ident:
+					if v, ok := info.Uses[l].(*types.Var); ok && isPkgLevel(v) {
+						pass.Reportf(rhs.Pos(), "borrowed block view stored in package-level variable %s; copy it — it aliases pooled device memory", l.Name)
+					}
+				case *ast.SelectorExpr:
+					if sel, ok := info.Selections[l]; ok && sel.Kind() == types.FieldVal {
+						pass.Reportf(rhs.Pos(), "borrowed block view stored in struct field %s; copy it — it aliases pooled device memory", l.Sel.Name)
+					} else if v, ok := info.Uses[l.Sel].(*types.Var); ok && isPkgLevel(v) {
+						pass.Reportf(rhs.Pos(), "borrowed block view stored in package-level variable %s; copy it — it aliases pooled device memory", l.Sel.Name)
+					}
+				case *ast.IndexExpr:
+					pass.Reportf(rhs.Pos(), "borrowed block view stored in a map or slice element; copy it — it aliases pooled device memory")
+				case *ast.StarExpr:
+					pass.Reportf(rhs.Pos(), "borrowed block view stored through a pointer; copy it — it aliases pooled device memory")
+				}
+			}
+			if len(n.Rhs) == len(n.Lhs) {
+				for i := range n.Rhs {
+					check(n.Lhs[i], n.Rhs[i])
+				}
+			} else if len(n.Rhs) == 1 {
+				check(n.Lhs[0], n.Rhs[0])
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if reportable(el, stack) {
+					pass.Reportf(el.Pos(), "borrowed block view stored in a composite literal; copy it — it aliases pooled device memory")
+				}
+			}
+		case *ast.SendStmt:
+			if reportable(n.Value, stack) {
+				pass.Reportf(n.Value.Pos(), "borrowed block view sent on a channel; copy it — it aliases pooled device memory")
+			}
+		case *ast.CallExpr:
+			if isBuiltin(info, n, "append") && n.Ellipsis == token.NoPos {
+				for _, arg := range n.Args[1:] {
+					if reportable(arg, stack) {
+						pass.Reportf(arg.Pos(), "borrowed block view appended into a slice; copy it — it aliases pooled device memory")
+					}
+				}
+			}
+		case *ast.GoStmt:
+			for _, arg := range n.Call.Args {
+				if reportable(arg, stack) {
+					pass.Reportf(arg.Pos(), "borrowed block view passed to a goroutine; it may outlive the loan")
+				}
+			}
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok && usesViewVar(lit) {
+				pass.Reportf(lit.Pos(), "borrowed block view captured by a goroutine; it may outlive the loan")
+			}
+		case *ast.FuncLit:
+			// A literal that references a view and escapes (stored, returned,
+			// sent — anything but being called or passed as a synchronous
+			// callback) may run after the loan expires.
+			if len(stack) > 0 && usesViewVar(n) {
+				switch parent := stack[len(stack)-1].(type) {
+				case *ast.CallExpr:
+					_ = parent // direct call or synchronous callback: allowed
+				case *ast.GoStmt:
+					// reported above
+				default:
+					pass.Reportf(n.Pos(), "borrowed block view captured by an escaping function literal; it may outlive the loan")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isPkgLevel reports whether v is a package-level variable.
+func isPkgLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

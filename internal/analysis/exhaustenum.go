@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ExhaustEnum enforces exhaustive switches over the project's enums.
+//
+// FaultKind, bugs.Consequence, RecordKind, OpKind and friends are closed
+// int enums that grow: PR 6 added fault kinds, PR 3 found that a severity
+// switch silently dropped unknown consequences. A switch that misses a
+// constant compiles fine and mis-handles the new case at runtime — in this
+// codebase that usually means a whole sweep kind is silently skipped or
+// mis-ranked. The rule: a switch over an enum type either covers every
+// declared constant, or carries a default that does something (an empty
+// default is an exhaustiveness check disabled by hand).
+//
+// An enum is a defined non-boolean integer type with at least two
+// package-level constants declared of exactly that type. Switches with
+// non-constant case expressions are skipped (they encode range logic the
+// analyzer can't see).
+var ExhaustEnum = &Analyzer{
+	Name: "exhaustenum",
+	Doc: "report switches over project enum types (FaultKind, Consequence, " +
+		"record/op kinds, ...) that neither cover every declared constant " +
+		"nor carry a non-empty default",
+	Run: runExhaustEnum,
+}
+
+// enumConstsOf maps each defined enum type in the run to its declared
+// constants, keyed by the type's declaration position (stable across
+// package variants).
+func enumConstsOf(all []*Package) map[token.Pos][]*types.Const {
+	enums := make(map[token.Pos][]*types.Const)
+	seenConst := make(map[token.Pos]bool)
+	for _, pkg := range all {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || seenConst[c.Pos()] {
+				continue
+			}
+			named, ok := c.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			basic, ok := named.Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 || basic.Info()&types.IsBoolean != 0 {
+				continue
+			}
+			// Only constants declared in the enum type's own package are
+			// members; re-exported aliases (b3.go's FaultTorn =
+			// blockdev.FaultTorn) are views of the enum, not new cases.
+			if c.Pkg() != named.Obj().Pkg() {
+				continue
+			}
+			seenConst[c.Pos()] = true
+			enums[named.Obj().Pos()] = append(enums[named.Obj().Pos()], c)
+		}
+	}
+	for pos, consts := range enums {
+		if len(consts) < 2 {
+			delete(enums, pos)
+			continue
+		}
+		sort.Slice(consts, func(i, j int) bool { return consts[i].Pos() < consts[j].Pos() })
+	}
+	return enums
+}
+
+func runExhaustEnum(pass *Pass) error {
+	enums := enumConstsOf(pass.All)
+	if len(enums) == 0 {
+		return nil
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			tv, ok := info.Types[sw.Tag]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok {
+				return true
+			}
+			consts, ok := enums[named.Obj().Pos()]
+			if !ok {
+				return true
+			}
+
+			// Coverage is tracked by constant VALUE, not object identity, so
+			// a case written against a re-exported alias (case b3.FaultTorn)
+			// covers the member it aliases.
+			covered := make(map[string]bool)
+			opaque := false
+			var defaultClause *ast.CaseClause
+			for _, stmt := range sw.Body.List {
+				cc := stmt.(*ast.CaseClause)
+				if cc.List == nil {
+					defaultClause = cc
+					continue
+				}
+				for _, e := range cc.List {
+					if c, ok := useObj(info, e).(*types.Const); ok {
+						covered[c.Val().ExactString()] = true
+						continue
+					}
+					opaque = true // conversion, variable, or expression case
+				}
+			}
+
+			if defaultClause != nil {
+				if len(defaultClause.Body) == 0 {
+					pass.Reportf(defaultClause.Pos(), "empty default in switch over %s silently ignores unhandled values; handle them or make the default error", named.Obj().Name())
+				}
+				return true
+			}
+			if opaque {
+				return true
+			}
+			var missing []string
+			for _, c := range consts {
+				if !covered[c.Val().ExactString()] {
+					missing = append(missing, c.Name())
+				}
+			}
+			if len(missing) > 0 {
+				pass.Reportf(sw.Pos(), "switch over %s misses %s; add the cases or a default that errors", named.Obj().Name(), strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}

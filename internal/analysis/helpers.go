@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves a call expression's static callee, or nil for
+// indirect calls, builtins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// useObj resolves an identifier or selector expression to the object it
+// uses, or nil.
+func useObj(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// funcBodies yields every function body in the file — declarations and
+// function literals — each exactly once, paired with a name for messages.
+// Each body is its own lifetime scope: a nested literal's body is yielded
+// separately and not re-walked as part of its enclosing function.
+func funcBodies(file *ast.File, f func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				f(n.Name.Name, n.Body)
+			}
+		case *ast.FuncLit:
+			f("func literal", n.Body)
+		}
+		return true
+	})
+}
+
+// hasMethod reports whether t (or *t) has a method with the given name, no
+// parameters, and no results.
+func hasMethod(t types.Type, name string) bool {
+	if _, isPtr := t.Underlying().(*types.Pointer); !isPtr {
+		t = types.NewPointer(t)
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i)
+		if m.Obj().Name() != name {
+			continue
+		}
+		sig, ok := m.Obj().Type().(*types.Signature)
+		if ok && sig.Params().Len() == 0 && sig.Results().Len() == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// valueUse reports whether root references v in a value position — any use
+// EXCEPT as the receiver of a method call (`v.Read()` reads through v but
+// does not hand v itself to a new owner).
+func valueUse(info *types.Info, root ast.Node, v *types.Var) bool {
+	found := false
+	inspectStack(root, func(n ast.Node, stack []ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != v {
+			return true
+		}
+		// Receiver position: Ident under SelectorExpr.X where the selection
+		// is a method value and the selector is the Fun of a CallExpr.
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == ast.Expr(id) {
+				if s, ok := info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+					if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == ast.Expr(sel) {
+						return true
+					}
+				}
+			}
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+// enclosingFuncLit returns the innermost function literal strictly
+// containing the top of the stack, and its index in the stack, or nil.
+func enclosingFuncLit(stack []ast.Node) (*ast.FuncLit, int) {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fl, ok := stack[i].(*ast.FuncLit); ok {
+			return fl, i
+		}
+	}
+	return nil, -1
+}

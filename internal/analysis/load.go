@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the import path ("b3/internal/blockdev"; external test
+	// packages get a "_test" suffix, fixture packages a "fix/" prefix).
+	Path string
+	// Dir is the package directory on disk.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages without the go command: module
+// packages are resolved to directories under the module root and checked
+// from source; everything else (the standard library) is delegated to the
+// stdlib source importer, which reads GOROOT — no network, no module proxy.
+//
+// Packages that other packages import are loaded without their test files
+// (as the compiler would build them); the packages handed to analyzers by
+// LoadModule additionally carry their in-package test files, plus a separate
+// "_test"-suffixed package for external test files. Parsed files are cached
+// and shared between the two variants, so a source position or token.Pos
+// identifies the same syntax in both — cross-package analyzers key on
+// positions, not type-checker object identity, for exactly this reason.
+type Loader struct {
+	Fset       *token.FileSet
+	moduleDir  string
+	modulePath string
+	std        types.Importer
+	imported   map[string]*Package // no-test variants, for import resolution
+	loading    map[string]bool
+	parsed     map[string]*ast.File
+}
+
+// NewLoader returns a loader rooted at the module containing dir (found by
+// walking up to go.mod). Pass "" to load only self-contained packages via
+// LoadDir (the analysistest fixture mode).
+func NewLoader(dir string) (*Loader, error) {
+	l := &Loader{
+		Fset:     token.NewFileSet(),
+		imported: make(map[string]*Package),
+		loading:  make(map[string]bool),
+		parsed:   make(map[string]*ast.File),
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	if dir == "" {
+		return l, nil
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			l.moduleDir = d
+			l.modulePath = modulePathOf(data)
+			if l.modulePath == "" {
+				return nil, fmt.Errorf("analysis: no module line in %s/go.mod", d)
+			}
+			return l, nil
+		}
+		if filepath.Dir(d) == d {
+			return nil, fmt.Errorf("analysis: no go.mod above %s", abs)
+		}
+	}
+}
+
+// modulePathOf extracts the module path from go.mod contents.
+func modulePathOf(data []byte) string {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}
+
+// Import implements types.Importer, routing module-internal paths to the
+// module loader and everything else to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if l.modulePath != "" && (path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/")) {
+		pkg, err := l.loadImported(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// dirOf maps a module-internal import path to its directory.
+func (l *Loader) dirOf(path string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modulePath), "/")
+	return filepath.Join(l.moduleDir, filepath.FromSlash(rel))
+}
+
+// loadImported loads the compiler's view of a module package: no test files.
+func (l *Loader) loadImported(path string) (*Package, error) {
+	if pkg, ok := l.imported[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	dir := l.dirOf(path)
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.loadFiles(dir, path, bp.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	l.imported[path] = pkg
+	return pkg, nil
+}
+
+// LoadModule loads and type-checks every package under the module root for
+// analysis — in-package test files included, external test files as their
+// own "_test" package — skipping testdata, hidden directories, and nested
+// modules. The returned slice is sorted by import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	if l.moduleDir == "" {
+		return nil, fmt.Errorf("analysis: loader has no module root")
+	}
+	var dirs []string
+	err := filepath.WalkDir(l.moduleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.moduleDir {
+			if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata" {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module (example scaffolds)
+			}
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.moduleDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.modulePath
+		if rel != "." {
+			path = l.modulePath + "/" + filepath.ToSlash(rel)
+		}
+		bp, err := build.ImportDir(dir, 0)
+		if err != nil {
+			if _, ok := err.(*build.NoGoError); ok {
+				continue
+			}
+			return nil, err
+		}
+		var pkg *Package
+		if len(bp.TestGoFiles) == 0 {
+			// No in-package tests: the analyzed package IS the imported one.
+			pkg, err = l.loadImported(path)
+		} else {
+			pkg, err = l.loadFiles(dir, path, append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...))
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+		if len(bp.XTestGoFiles) > 0 {
+			xpkg, err := l.loadFiles(dir, path+"_test", bp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, xpkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir loads a single self-contained package (stdlib imports only) — the
+// analysistest fixture mode.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	return l.loadFiles(dir, path, append(append([]string{}, bp.GoFiles...), bp.TestGoFiles...))
+}
+
+// parseFile parses one file, caching the result so the imported and analyzed
+// variants of a package share syntax trees and positions.
+func (l *Loader) parseFile(filename string) (*ast.File, error) {
+	if f, ok := l.parsed[filename]; ok {
+		return f, nil
+	}
+	f, err := parser.ParseFile(l.Fset, filename, nil, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	l.parsed[filename] = f
+	return f, nil
+}
+
+// loadFiles parses and type-checks the named files as one package.
+func (l *Loader) loadFiles(dir, path string, names []string) (*Package, error) {
+	names = append([]string{}, names...)
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := l.parseFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}

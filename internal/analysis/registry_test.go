@@ -1,0 +1,68 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"b3/internal/analysis"
+)
+
+// TestRegistryWellFormed pins the registry's basic contract: every analyzer
+// has a unique name, a doc string, and a Run function, and the set is
+// sorted so b3vet output order is stable.
+func TestRegistryWellFormed(t *testing.T) {
+	suite := analysis.Analyzers()
+	if len(suite) < 5 {
+		t.Fatalf("registry has %d analyzers, want at least 5", len(suite))
+	}
+	seen := make(map[string]bool)
+	var names []string
+	for _, a := range suite {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		names = append(names, a.Name)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("registry not sorted by name: %v", names)
+	}
+}
+
+// TestB3vetExposesRegistry builds cmd/b3vet and asserts `b3vet -list`
+// prints exactly the registry's analyzer set — no silently unwired
+// analyzer in the multichecker, none in the binary that the registry (and
+// therefore the analysistest suites) does not cover.
+func TestB3vetExposesRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary; skipped in -short")
+	}
+	moduleRoot, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "b3vet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/b3vet")
+	build.Dir = moduleRoot
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/b3vet: %v\n%s", err, out)
+	}
+	out, err := exec.Command(bin, "-list").Output()
+	if err != nil {
+		t.Fatalf("b3vet -list: %v", err)
+	}
+	got := strings.Fields(strings.TrimSpace(string(out)))
+	var want []string
+	for _, a := range analysis.Analyzers() {
+		want = append(want, a.Name)
+	}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("b3vet -list = %v, registry = %v", got, want)
+	}
+}

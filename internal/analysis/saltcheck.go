@@ -1,0 +1,174 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+)
+
+// SaltCheck audits the oracle-salt constants that keep verdict caches from
+// cross-polluting.
+//
+// The shared two-tier prune cache keys every verdict as
+// (state fingerprint, oracle ^ salt): reorder sweeps, each fault kind, and
+// the checkpoint path all share one cache, distinguished ONLY by their salt
+// (reorderOracleSalt, faultOracleSaltBase, the pruneSalt inputs). Two salts
+// with the same value silently merge two sweep kinds' verdict spaces — a
+// reorder verdict answers a torn-write query — and nothing fails until the
+// verdicts differ, which is exactly when it matters. No runtime cross-check
+// can see this (each sweep is self-consistent); it is a pure code-level
+// invariant:
+//
+//   - every salt constant (name matching "salt", case-insensitive) must be
+//     a nonzero integer — a zero salt is a no-op that collides with the
+//     unsalted key space;
+//   - salt values must be pairwise distinct across the whole run;
+//   - a salt may only be XOR-composed (^, ^=) or passed to a keyed
+//     hash/call — aliasing one into a plain variable, comparing it, or
+//     combining it with +/*/| hides a salt under a name this review can't
+//     see, or composes it in a collision-prone way.
+var SaltCheck = &Analyzer{
+	Name: "saltcheck",
+	Doc: "report oracle-salt constants that are zero, collide with another " +
+		"salt, or are used outside XOR composition / keyed-hash calls " +
+		"(colliding salts silently cross-pollute verdict caches)",
+	Run: runSaltCheck,
+}
+
+var saltNameRE = regexp.MustCompile(`(?i)salt`)
+
+// saltConst is one discovered salt constant.
+type saltConst struct {
+	obj *types.Const
+	val uint64
+	pos token.Position
+}
+
+// saltConsts gathers every package-level integer constant whose name
+// mentions "salt", across all packages in the run, sorted by position.
+func saltConsts(pass *Pass) []saltConst {
+	var salts []saltConst
+	seen := make(map[token.Pos]bool)
+	for _, pkg := range pass.All {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			c, ok := scope.Lookup(name).(*types.Const)
+			if !ok || !saltNameRE.MatchString(name) {
+				continue
+			}
+			basic, ok := c.Type().Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsInteger == 0 {
+				continue
+			}
+			if seen[c.Pos()] {
+				continue // same const through two package variants
+			}
+			seen[c.Pos()] = true
+			val, _ := constant.Uint64Val(constant.ToInt(c.Val()))
+			salts = append(salts, saltConst{obj: c, val: val, pos: pass.Fset.Position(c.Pos())})
+		}
+	}
+	// Position order, so a collision is reported at the LATER declaration
+	// (scope.Names() is alphabetical, which would blame an arbitrary side).
+	sort.Slice(salts, func(i, j int) bool {
+		a, b := salts[i].pos, salts[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return salts
+}
+
+func runSaltCheck(pass *Pass) error {
+	salts := saltConsts(pass)
+	if len(salts) == 0 {
+		return nil
+	}
+	inPkg := func(s saltConst) bool {
+		for _, f := range pass.Pkg.Files {
+			if pass.Fset.Position(f.Pos()).Filename == s.pos.Filename {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Value checks, reported once, in the declaring package's pass.
+	for i, s := range salts {
+		if !inPkg(s) {
+			continue
+		}
+		if s.val == 0 {
+			pass.Reportf(s.obj.Pos(), "salt %s is zero: it no-ops the key and collides with the unsalted verdict space", s.obj.Name())
+		}
+		for _, earlier := range salts[:i] {
+			if earlier.val == s.val && s.val != 0 {
+				pass.Reportf(s.obj.Pos(), "salt %s (%#x) collides with %s at %s:%d; colliding salts cross-pollute verdict caches across sweep kinds",
+					s.obj.Name(), s.val, earlier.obj.Name(), earlier.pos.Filename, earlier.pos.Line)
+			}
+		}
+	}
+
+	// Usage checks in this package: every use must be an XOR operand or a
+	// call argument.
+	saltByPos := make(map[token.Pos]*types.Const, len(salts))
+	for _, s := range salts {
+		saltByPos[s.obj.Pos()] = s.obj
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Const)
+			if !ok {
+				return true
+			}
+			c, tracked := saltByPos[obj.Pos()]
+			if !tracked {
+				return true
+			}
+			// Walk up through parens/selector qualification to the
+			// expression that consumes the salt.
+			var parent ast.Node
+			for i := len(stack) - 1; i >= 0; i-- {
+				switch p := stack[i].(type) {
+				case *ast.ParenExpr:
+					continue
+				case *ast.SelectorExpr:
+					if p.Sel == id {
+						continue // pkg.salt qualification
+					}
+				}
+				parent = stack[i]
+				break
+			}
+			switch p := parent.(type) {
+			case *ast.BinaryExpr:
+				if p.Op == token.XOR {
+					return true
+				}
+				pass.Reportf(id.Pos(), "salt %s combined with %s; salts must be XOR-composed (non-XOR arithmetic is collision-prone, comparisons leak them into logic)", c.Name(), p.Op)
+			case *ast.AssignStmt:
+				if p.Tok == token.XOR_ASSIGN {
+					return true
+				}
+				pass.Reportf(id.Pos(), "salt %s aliased by plain assignment; use it via XOR composition or a keyed-hash call so every salt stays reviewable at its declaration", c.Name())
+			case *ast.CallExpr:
+				return true // keyed-hash / mixer argument
+			case *ast.ValueSpec:
+				pass.Reportf(id.Pos(), "salt %s aliased into another declaration; derive salts by XOR composition, never by aliasing", c.Name())
+			default:
+				pass.Reportf(id.Pos(), "salt %s used outside XOR composition or a keyed-hash call", c.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}

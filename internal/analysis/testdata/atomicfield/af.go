@@ -1,0 +1,40 @@
+// Fixture for the atomicfield analyzer: a counter struct whose hot path
+// increments via sync/atomic while other code reads plainly.
+package atomicfield
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	total int64
+}
+
+func (c *counters) inc() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) okAtomicRead() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+func (c *counters) okAtomicStore() {
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+func (c *counters) foldRead() int64 {
+	return c.hits // want "plain access to field hits"
+}
+
+func (c *counters) plainWrite() {
+	c.hits = 0 // want "plain access to field hits"
+}
+
+func (c *counters) plainOnly() int64 {
+	c.total++ // never touched by sync/atomic: fine
+	return c.total
+}
+
+func (c *counters) allowedRead() int64 {
+	//lint:allow atomicfield workers are joined before this fold (fixture)
+	return c.hits
+}

@@ -1,0 +1,104 @@
+// Fixture for the borrowview analyzer: a miniature lender (ReadView /
+// ReadBlockView returning []byte) and the stores that must and must not be
+// flagged. Self-contained — the analyzer matches lenders by name and shape,
+// not import path.
+package borrowview
+
+type dev struct{ blocks [][]byte }
+
+func (d *dev) ReadBlockView(n int64) ([]byte, error) { return d.blocks[n], nil }
+
+func ReadView(d *dev, n int64) ([]byte, error) { return d.ReadBlockView(n) }
+
+type holder struct{ view []byte }
+
+var global []byte
+
+func readOnly(d *dev) byte {
+	v, _ := ReadView(d, 0)
+	b := v[0]
+	w, _ := d.ReadBlockView(1)
+	out := make([]byte, 8)
+	copy(out, w) // copying out of the view is the sanctioned idiom
+	return b
+}
+
+func retView(d *dev) []byte {
+	v, _ := ReadView(d, 0)
+	return v // returning re-lends under the same contract: allowed
+}
+
+func storeField(d *dev, h *holder) {
+	v, _ := ReadView(d, 0)
+	h.view = v // want "stored in struct field"
+}
+
+func storeFieldDirect(d *dev, h *holder) {
+	h.view, _ = d.ReadBlockView(0) // want "stored in struct field"
+}
+
+func storeGlobal(d *dev) {
+	global, _ = ReadView(d, 0) // want "package-level variable"
+}
+
+func storeMap(d *dev, m map[int][]byte) {
+	v, _ := d.ReadBlockView(0)
+	m[1] = v // want "map or slice element"
+}
+
+func storeComposite(d *dev) holder {
+	v, _ := ReadView(d, 0)
+	return holder{view: v} // want "composite literal"
+}
+
+func sendChan(d *dev, ch chan []byte) {
+	v, _ := ReadView(d, 0)
+	ch <- v // want "sent on a channel"
+}
+
+func appendSlice(d *dev, out [][]byte) [][]byte {
+	v, _ := ReadView(d, 0)
+	return append(out, v) // want "appended into a slice"
+}
+
+func appendBytes(d *dev, out []byte) []byte {
+	v, _ := ReadView(d, 0)
+	return append(out, v...) // spreading copies the bytes: allowed
+}
+
+func aliasPropagates(d *dev, h *holder) {
+	v, _ := ReadView(d, 0)
+	w := v[2:8]
+	h.view = w // want "stored in struct field"
+}
+
+func goroutineArg(d *dev, sink func([]byte)) {
+	v, _ := ReadView(d, 0)
+	go sink(v) // want "passed to a goroutine"
+}
+
+func goroutineCapture(d *dev) {
+	v, _ := ReadView(d, 0)
+	go func() { _ = v[0] }() // want "captured by a goroutine"
+}
+
+func escapingClosure(d *dev) func() byte {
+	v, _ := ReadView(d, 0)
+	return func() byte { return v[0] } // want "escaping function literal"
+}
+
+func syncCallback(d *dev, f func([]byte) int) int {
+	v, _ := ReadView(d, 0)
+	return f(v) // synchronous callback: allowed
+}
+
+func deferredUse(d *dev, f func([]byte) int) {
+	v, _ := ReadView(d, 0)
+	defer f(v) // defer is treated as synchronous-enough: allowed
+}
+
+func allowedStore(d *dev, h *holder) {
+	v, _ := ReadView(d, 0)
+	//lint:allow borrowview the device is frozen for h's lifetime (fixture)
+	h.view = v
+}

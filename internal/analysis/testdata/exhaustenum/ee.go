@@ -1,0 +1,90 @@
+// Fixture for the exhaustenum analyzer: a closed int enum (with an
+// intentionally int-typed count sentinel, like blockdev.NumFaultKinds) and
+// the switch shapes that must and must not be flagged.
+package exhaustenum
+
+type Kind int
+
+const (
+	KindA Kind = iota
+	KindB
+	KindC
+
+	// NumKinds is int-typed on purpose: count sentinels are not members.
+	NumKinds int = iota
+)
+
+func covered(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	case KindC:
+		return "c"
+	}
+	return "?"
+}
+
+func missing(k Kind) string {
+	switch k { // want "misses KindC"
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return "?"
+}
+
+func defaulted(k Kind) string {
+	switch k {
+	case KindA:
+		return "a"
+	default:
+		panic("unhandled Kind")
+	}
+}
+
+func emptyDefault(k Kind) {
+	switch k {
+	case KindA:
+	default: // want "empty default"
+	}
+}
+
+func opaqueCase(k Kind) string {
+	switch k {
+	case Kind(0): // conversion case: range logic the analyzer skips
+		return "zero"
+	}
+	return "?"
+}
+
+func multiCase(k Kind) string {
+	switch k {
+	case KindA, KindB, KindC:
+		return "any"
+	}
+	return "?"
+}
+
+type lone int
+
+const onlyOne lone = 1
+
+func notAnEnum(s lone) string {
+	switch s { // a single constant is not an enum: skipped
+	case onlyOne:
+		return "one"
+	}
+	return "?"
+}
+
+func allowedSwitch(k Kind) string {
+	//lint:allow exhaustenum KindC cannot reach this path (fixture)
+	switch k {
+	case KindA, KindB:
+		return "ab"
+	}
+	return "?"
+}

@@ -1,0 +1,47 @@
+// Fixture for the saltcheck analyzer: oracle-salt constants that must stay
+// nonzero, pairwise distinct, and XOR-composed.
+package saltcheck
+
+const (
+	reorderSalt uint64 = 0x4233526571756572
+	faultSalt   uint64 = 0x423346614c742121
+	dupSalt     uint64 = 0x4233526571756572 // want "collides with reorderSalt"
+	zeroSalt    uint64 = 0                  // want "salt zeroSalt is zero"
+)
+
+// derivedSalt is XOR-derived: allowed, and itself checked for distinctness.
+const derivedSalt = reorderSalt ^ 7
+
+func key(oracle uint64) uint64 {
+	return oracle ^ reorderSalt // XOR composition: allowed
+}
+
+func xorAssign(k uint64) uint64 {
+	k ^= faultSalt // XOR-assign composition: allowed
+	return k
+}
+
+func mix(v uint64) uint64 { return v*0x9e3779b97f4a7c15 + 1 }
+
+func hashed() uint64 {
+	return mix(faultSalt) // keyed-hash argument: allowed
+}
+
+func aliased() uint64 {
+	s := faultSalt // want "aliased by plain assignment"
+	return s
+}
+
+func added(oracle uint64) uint64 {
+	return oracle + faultSalt // want "combined with \+"
+}
+
+func compared(x uint64) bool {
+	return x == faultSalt // want "combined with =="
+}
+
+func allowedAlias() uint64 {
+	//lint:allow saltcheck documented handoff to the wire format (fixture)
+	s := reorderSalt
+	return s
+}

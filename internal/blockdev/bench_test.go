@@ -83,6 +83,7 @@ func BenchmarkReplayCursorSweep(b *testing.B) {
 				_ = fork.Fingerprint()
 				fork.Release()
 			}
+			cur.Release()
 		}
 		b.ReportMetric(float64(replayed)/float64(b.N*checkpoints), "replayed-writes/state")
 	})

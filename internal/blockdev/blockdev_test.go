@@ -8,6 +8,7 @@ import (
 
 func TestMemDiskReadWrite(t *testing.T) {
 	d := NewMemDisk(8)
+	defer d.Recycle()
 	if d.NumBlocks() != 8 {
 		t.Fatalf("NumBlocks = %d", d.NumBlocks())
 	}
@@ -35,6 +36,7 @@ func TestMemDiskReadWrite(t *testing.T) {
 
 func TestMemDiskBounds(t *testing.T) {
 	d := NewMemDisk(2)
+	defer d.Recycle()
 	if _, err := d.ReadBlock(2); err == nil {
 		t.Fatal("expected out-of-range read error")
 	}
@@ -51,6 +53,7 @@ func TestMemDiskBounds(t *testing.T) {
 
 func TestWriteCopiesCallerBuffer(t *testing.T) {
 	d := NewMemDisk(1)
+	defer d.Recycle()
 	buf := []byte{1, 2, 3}
 	if err := d.WriteBlock(0, buf); err != nil {
 		t.Fatal(err)
@@ -68,6 +71,7 @@ func TestSnapshotCOW(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewSnapshot(base)
+	defer s.Release()
 
 	// Reads fall through to base.
 	b, err := s.ReadBlock(1)
@@ -108,6 +112,7 @@ func TestSnapshotCOW(t *testing.T) {
 
 func TestSnapshotBounds(t *testing.T) {
 	s := NewSnapshot(NewMemDisk(2))
+	defer s.Release()
 	if err := s.WriteBlock(5, nil); err == nil {
 		t.Fatal("expected out-of-range error")
 	}

@@ -94,6 +94,8 @@ func (c *ReplayCursor) SeekCheckpoint(cp int) (int64, error) {
 				}
 				return applied, nil
 			}
+		case RecFlush:
+			// Flushes order writes but change no block contents.
 		}
 	}
 	c.replayed += applied

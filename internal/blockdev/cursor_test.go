@@ -55,6 +55,7 @@ func deviceBytes(t *testing.T, dev Device) []byte {
 func TestReplayCursorMatchesScratch(t *testing.T) {
 	base, rec := buildLog(t)
 	cur := NewReplayCursor(base, rec.Log())
+	defer cur.Release()
 	// Ascending sweep, then a rewind (cp 3 -> cp 1), then forward again.
 	for _, cp := range []int{1, 2, 3, 1, 2} {
 		if _, err := cur.SeekCheckpoint(cp); err != nil {
@@ -81,6 +82,7 @@ func TestReplayCursorMatchesScratch(t *testing.T) {
 func TestReplayCursorDeltaCost(t *testing.T) {
 	base, rec := buildLog(t)
 	cur := NewReplayCursor(base, rec.Log())
+	defer cur.Release()
 	var total int64
 	for cp := 1; cp <= 3; cp++ {
 		n, err := cur.SeekCheckpoint(cp)
@@ -105,6 +107,7 @@ func TestReplayCursorDeltaCost(t *testing.T) {
 func TestReplayCursorErrors(t *testing.T) {
 	base, rec := buildLog(t)
 	cur := NewReplayCursor(base, rec.Log())
+	defer cur.Release()
 	if _, err := cur.SeekCheckpoint(0); err == nil {
 		t.Fatal("checkpoint 0 must error")
 	}
@@ -116,6 +119,7 @@ func TestReplayCursorErrors(t *testing.T) {
 func TestCursorForkIsolationBlockdev(t *testing.T) {
 	base, rec := buildLog(t)
 	cur := NewReplayCursor(base, rec.Log())
+	defer cur.Release()
 	if _, err := cur.SeekCheckpoint(2); err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +256,9 @@ func TestIncrementalReorderEarlyStop(t *testing.T) {
 func TestTrackedFingerprintMatchesScan(t *testing.T) {
 	base := NewMemDisk(32)
 	tracked := NewTrackedSnapshot(base)
+	defer tracked.Release()
 	scan := NewSnapshot(base)
+	defer scan.Release()
 	writes := []struct {
 		n int64
 		v byte
@@ -303,6 +309,7 @@ func TestBlockMeterCounts(t *testing.T) {
 	base, rec := buildLog(t)
 	var meter BlockMeter
 	cur := NewReplayCursor(base, rec.Log())
+	defer cur.Release()
 	cur.SetMeter(&meter)
 	if _, err := cur.SeekCheckpoint(2); err != nil {
 		t.Fatal(err)
@@ -376,12 +383,14 @@ func TestWriteBackOfBorrowedView(t *testing.T) {
 		if b, _ := base.ReadBlock(1); b[0] != 7 || b[BlockSize-1] != 9 {
 			t.Fatal("MemDisk write-back of a borrowed view corrupted the block")
 		}
+		s.Release()
 	}
 }
 
 func TestTrackedSnapshotResetStaysTracked(t *testing.T) {
 	base := NewMemDisk(8)
 	s := NewTrackedSnapshot(base)
+	defer s.Release()
 	data := make([]byte, BlockSize)
 	data[0] = 5
 	s.WriteBlock(1, data)
@@ -391,6 +400,7 @@ func TestTrackedSnapshotResetStaysTracked(t *testing.T) {
 	}
 	s.WriteBlock(2, data)
 	ref := NewSnapshot(base)
+	defer ref.Release()
 	ref.WriteBlock(2, data)
 	if s.Fingerprint() != ref.Fingerprint() {
 		t.Fatal("post-reset fingerprint diverged from scratch")
@@ -409,6 +419,7 @@ func TestSnapshotReleaseAndReuseSafety(t *testing.T) {
 	a.WriteBlock(1, junk)
 	a.Release()
 	b := NewTrackedSnapshot(base)
+	defer b.Release()
 	short := []byte{1, 2, 3}
 	b.WriteBlock(1, short)
 	got, err := b.ReadBlock(1)

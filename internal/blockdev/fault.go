@@ -358,8 +358,11 @@ func applyFaultState(dst Device, epochs []Epoch, st FaultState, sectorSize int) 
 		return writeTorn(dst, ep.Writes[st.Write], st.Sectors, sectorSize)
 	case FaultCorrupt:
 		return writeCorrupt(dst, ep.Writes[st.Write], st.Zeroed)
+	case FaultMisdirect:
+		return nil // already redirected in the replay loop above
+	default:
+		return fmt.Errorf("blockdev: fault state %s has unknown kind %d", st.Desc, int(st.Kind))
 	}
-	return nil // FaultMisdirect: redirected in the replay loop above
 }
 
 // ForEachFaultStateIncremental enumerates exactly the states of

@@ -5,7 +5,9 @@ import "testing"
 func TestFingerprintOrderIndependent(t *testing.T) {
 	base := NewMemDisk(64)
 	a := NewSnapshot(base)
+	defer a.Release()
 	b := NewSnapshot(base)
+	defer b.Release()
 	one, two := make([]byte, BlockSize), make([]byte, BlockSize)
 	one[0], two[0] = 1, 2
 
@@ -25,6 +27,7 @@ func TestFingerprintDistinguishesContentAndPlacement(t *testing.T) {
 
 	mk := func(block int64, data []byte) uint64 {
 		s := NewSnapshot(base)
+		defer s.Release()
 		s.WriteBlock(block, data)
 		return s.Fingerprint()
 	}
@@ -42,12 +45,14 @@ func TestFingerprintTracksOverwrites(t *testing.T) {
 	data[0] = 1
 
 	a := NewSnapshot(base)
+	defer a.Release()
 	a.WriteBlock(0, data)
 	want := a.Fingerprint()
 
 	// Overwriting a block with new content and then restoring it must
 	// converge to the same fingerprint: identity is contents, not history.
 	b := NewSnapshot(base)
+	defer b.Release()
 	other := make([]byte, BlockSize)
 	other[0] = 99
 	b.WriteBlock(0, other)

@@ -124,6 +124,8 @@ func ReplayToCheckpoint(dst Device, log []Record, cp int) (int64, error) {
 			if rec.Checkpoint == cp {
 				return applied, nil
 			}
+		case RecFlush:
+			// Flushes order writes but change no block contents.
 		}
 	}
 	return applied, fmt.Errorf("blockdev: checkpoint %d not found in IO log", cp)
@@ -164,6 +166,8 @@ func CountWritesBetweenCheckpoints(log []Record) []int {
 		case RecCheckpoint:
 			out = append(out, n)
 			n = 0
+		case RecFlush:
+			// Flushes order writes but change no block contents.
 		}
 	}
 	return out

@@ -176,6 +176,9 @@ func (idx *crashIndex) captureInode(m filesys.MountedFS, path string, st filesys
 			return fmt.Errorf("readlink %s: %w", path, err)
 		}
 		is.target = target
+	case filesys.KindDir, filesys.KindFifo:
+		// No content beyond stat and xattrs; directory structure is indexed
+		// by the dentry walk, not per inode.
 	}
 	xa, err := m.ListXattr(path)
 	if err != nil {
@@ -205,6 +208,8 @@ func (idx *crashIndex) fileStateOf(ino uint64) *fileState {
 	case filesys.KindSymlink:
 		out.target = is.target
 		out.size = int64(len(is.target))
+	case filesys.KindDir, filesys.KindFifo:
+		// Checkable state is the stat fields already copied above.
 	}
 	if len(is.xattrs) > 0 {
 		out.xattrs = is.xattrs

@@ -315,6 +315,7 @@ sync
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer p.Release()
 	if p.Checkpoints() != 2 {
 		t.Fatalf("checkpoints = %d", p.Checkpoints())
 	}

@@ -268,6 +268,8 @@ func (m *mounted) logAndFlush(n *fstree.Node, ranged *punchRec) error {
 			m.logState[pathKey{it.dir, it.name}] = boundState{ino: it.child, present: true}
 		case itDentryDel:
 			m.logState[pathKey{it.dir, it.name}] = boundState{}
+		case itInode, itInodeData:
+			// Inode payloads bind no names; replay applies them separately.
 		}
 	}
 	tr := m.trackOf(n.Ino)

@@ -211,6 +211,8 @@ func (t *Tree) addNode(parent *Node, name string, kind filesys.FileKind) (*Node,
 		parent.Nlink++
 	case filesys.KindRegular:
 		n.Data = []byte{}
+	case filesys.KindSymlink, filesys.KindFifo:
+		// No payload to initialize; Symlink sets the target after addNode.
 	}
 	t.nodes[n.Ino] = n
 	parent.Children[name] = n.Ino

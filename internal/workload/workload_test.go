@@ -148,6 +148,8 @@ func TestQuickOpStringParses(t *testing.T) {
 	f := func(kindRaw uint8, pathIdx, path2Idx uint8, off, ln uint16) bool {
 		kind := OpKind(kindRaw%uint8(OpSync) + 1)
 		op := Op{Kind: kind, Path: paths[int(pathIdx)%len(paths)]}
+		// Only kinds with extra arguments need more than the path set above.
+		//lint:allow exhaustenum kinds not listed take no extra parameters
 		switch kind {
 		case OpSymlink, OpLink, OpRename:
 			op.Path2 = paths[int(path2Idx)%len(paths)]
