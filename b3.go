@@ -47,6 +47,9 @@ type (
 	// CampaignMergeRow is one merged campaign: folded Stats plus shard
 	// bookkeeping.
 	CampaignMergeRow = campaign.MergeRow
+	// CampaignTier is a named campaign preset (quick, nightly) shared by
+	// CI, the fleet coordinator, and the CLI.
+	CampaignTier = campaign.Tier
 	// Version is a simulated kernel version.
 	Version = bugs.Version
 	// Bug is a catalogued crash-consistency bug mechanism.
@@ -192,6 +195,13 @@ type Campaign struct {
 	// means unsharded.
 	Shard     int
 	NumShards int
+	// Interrupt, when non-nil, requests a graceful early stop once
+	// closed: generation halts, in-flight workloads drain and are
+	// recorded, corpus shards are checkpointed and closed without a
+	// completion marker, and the run returns its partial statistics
+	// alongside ErrCampaignInterrupted. This is how SIGINT becomes a
+	// resumable checkpoint instead of a torn tail.
+	Interrupt <-chan struct{}
 	// OnProgress, when non-nil, receives cumulative progress snapshots
 	// every ProgressEvery while the campaign runs (plus a final one), so
 	// long sweeps can print a live states/s / replayed-writes/s line.
@@ -273,6 +283,17 @@ func RunCampaignMatrix(c Campaign, fss []FileSystem) (*CampaignMatrix, error) {
 	return campaign.RunMatrix(cfg, fss)
 }
 
+// ErrCampaignInterrupted reports a campaign stopped early through
+// Campaign.Interrupt; the partial statistics returned alongside it are
+// checkpointed (with CorpusDir) and resumable.
+var ErrCampaignInterrupted = campaign.ErrInterrupted
+
+// CampaignTiers returns the named campaign presets (quick, nightly).
+func CampaignTiers() []CampaignTier { return campaign.Tiers() }
+
+// LookupCampaignTier resolves a tier by name.
+func LookupCampaignTier(name string) (CampaignTier, error) { return campaign.LookupTier(name) }
+
 // MergeCampaignCorpus folds a directory of completed campaign corpus
 // shards — the residue classes of a sharded campaign, across any number of
 // file systems — into one merged report, without re-running anything. The
@@ -309,6 +330,7 @@ func (c Campaign) config() (campaign.Config, error) {
 		SampleEvery:    c.SampleEvery,
 		Shard:          c.Shard,
 		NumShards:      c.NumShards,
+		Interrupt:      c.Interrupt,
 		OnProgress:     c.OnProgress,
 		ProgressEvery:  c.ProgressEvery,
 		FinalOnly:      c.FinalOnly,

@@ -21,10 +21,14 @@
 //	b3 -profile seq-3-data -prune-cap 65536 # bound the verdict cache
 //	b3 -profile seq-2 -scratch-states       # cross-check: from-scratch states
 //	b3 -profile seq-1 -fs all -v            # + block-IO metering per row
+//	b3 -tier quick                          # named preset: seq-1, all FS, reorder 1
+//	b3 -serve :8080 -tier quick -corpus runs/   # fleet coordinator: leases + ledger
+//	b3 -worker http://host:8080             # fleet worker (shares the corpus dir)
 //	b3 -reproduce                           # appendix: 24 known bugs
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -69,8 +73,18 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume an interrupted campaign from the -corpus shard")
 		shard     = flag.String("shard", "", "run one residue class i/n of the campaign (e.g. 2/5: workloads with seq%5==2); run all n with the same -corpus, then -merge")
 		mergeDir  = flag.String("merge", "", "fold the completed campaign shards under this directory into one report (no re-running)")
+		tier      = flag.String("tier", "", "apply a named campaign preset's defaults (quick | nightly); explicit flags still win")
+		serveAddr = flag.String("serve", "", "run the fleet coordinator on this listen address (e.g. :8080); needs -corpus and -profile/-tier")
+		workerURL = flag.String("worker", "", "run a fleet worker pulling leases from this coordinator URL")
+		workerID  = flag.String("worker-id", "", "stable worker identity in the fleet status table (default hostname-pid)")
+		fleetN    = flag.Int("fleet-shards", 4, "initial residue classes the coordinator hands out as leases")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "fleet lease deadline; a lease missing heartbeats this long is expired and re-issued (0 = 10s)")
+		heartbeat = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = a third of the granted lease TTL)")
 	)
 	flag.Parse()
+	if *tier != "" {
+		applyTier(*tier, profile, fsName, faults, sample, reorder, sector)
+	}
 	if *resume && *corpusDir == "" {
 		fmt.Fprintln(os.Stderr, "b3: -resume requires -corpus DIR")
 		os.Exit(2)
@@ -90,6 +104,14 @@ func main() {
 	switch {
 	case *mergeDir != "":
 		runMerge(*mergeDir, *dedup)
+	case *serveAddr != "":
+		runServe(serveRun{
+			addr: *serveAddr, profile: *profile, fs: *fsName,
+			sample: *sample, reorder: *reorder, faults: *faults, sector: *sector,
+			corpusDir: *corpusDir, shards: *fleetN, leaseTTL: *leaseTTL, dedup: *dedup,
+		})
+	case *workerURL != "":
+		runWorker(workerRun{url: *workerURL, id: *workerID, workers: *workers, heartbeat: *heartbeat})
 	case *table4:
 		runTable4(*sample, *maxW)
 	case *findNew:
@@ -118,7 +140,7 @@ func main() {
 			profile: *profile, fs: *fsName, maxW: *maxW, dedup: *dedup,
 		})
 	default:
-		fmt.Fprintln(os.Stderr, "b3: choose one of -find-new-bugs, -table4, -reproduce, -profile (see -h)")
+		fmt.Fprintln(os.Stderr, "b3: choose one of -find-new-bugs, -table4, -reproduce, -profile, -tier, -serve, -worker (see -h)")
 		os.Exit(2)
 	}
 	profileFlush()
@@ -330,6 +352,7 @@ func runFindNewBugs(o campaignOpts) {
 	fmt.Println("(previously reported bugs patched; undiscovered bugs live)")
 	found := map[string]bool{}
 	var allStats []*b3.CampaignStats
+	interrupt := installInterrupt()
 	for _, fsName := range b3.FSNames() {
 		fs, err := b3.NewFS(fsName, b3.CampaignConfig())
 		if err != nil {
@@ -345,7 +368,12 @@ func runFindNewBugs(o campaignOpts) {
 				Shard: o.shard, NumShards: o.numShards,
 				// Each (fs, profile) pair gets its own corpus shard.
 				CorpusDir: o.corpusDir, Resume: o.resume,
+				Interrupt: interrupt,
 			})
+			if errors.Is(err, b3.ErrCampaignInterrupted) {
+				fmt.Printf("\n--- %s %s (interrupted) ---\n%s\n", fsName, p, stats.Summary())
+				exitInterrupted(o.corpusDir)
+			}
 			if err != nil {
 				fatal(err)
 			}
@@ -485,6 +513,7 @@ func runProfile(r profileRun) {
 		Reorder: r.reorder, Faults: r.faults, ScratchStates: r.scratch,
 		Shard: r.shard, NumShards: r.numShards,
 		CorpusDir: r.corpusDir, Resume: r.resume,
+		Interrupt: installInterrupt(),
 	}
 	if r.verbose {
 		// Live progress while the sweep runs. The ETA needs the space size;
@@ -521,6 +550,10 @@ func runProfile(r profileRun) {
 	if len(fss) == 1 {
 		c.FS = fss[0]
 		stats, err := b3.RunCampaign(c)
+		if errors.Is(err, b3.ErrCampaignInterrupted) {
+			fmt.Print(stats.Summary())
+			exitInterrupted(r.corpusDir)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -528,6 +561,10 @@ func runProfile(r profileRun) {
 		rows = append(rows, stats)
 	} else {
 		matrix, err := b3.RunCampaignMatrix(c, fss)
+		if errors.Is(err, b3.ErrCampaignInterrupted) {
+			fmt.Print(matrix.Summary())
+			exitInterrupted(r.corpusDir)
+		}
 		if err != nil {
 			fatal(err)
 		}

@@ -18,6 +18,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -119,6 +120,15 @@ type Config struct {
 	Shard     int
 	NumShards int
 
+	// Interrupt, when non-nil, requests a graceful early stop: once the
+	// channel is closed, generation stops feeding new workloads, in-flight
+	// workloads drain and are recorded, corpus shards are checkpointed and
+	// closed WITHOUT a completion marker (the shard stays resumable, never
+	// mergeable), and RunMatrix returns the partial statistics alongside
+	// ErrInterrupted. This is the clean half of crash tolerance: a SIGINT'd
+	// campaign loses nothing instead of leaning on torn-tail recovery.
+	Interrupt <-chan struct{}
+
 	// OnProgress, when non-nil, receives cumulative progress snapshots
 	// (summed across matrix rows) every ProgressEvery while the campaign
 	// runs, plus one final snapshot when the worker pool drains. Long
@@ -182,6 +192,25 @@ func (cfg *Config) numShards() int {
 
 // DefaultProgressEvery is the default Config.OnProgress interval.
 const DefaultProgressEvery = 5 * time.Second
+
+// ErrInterrupted reports a campaign stopped early through Config.Interrupt.
+// The returned statistics cover the work finished before the stop; corpus
+// shards are checkpointed (every recorded workload is durable) but carry no
+// completion marker, so they resume exactly where the interrupt landed.
+var ErrInterrupted = errors.New("campaign: interrupted")
+
+// interrupted reports whether the config's interrupt channel has fired.
+func (cfg *Config) interrupted() bool {
+	if cfg.Interrupt == nil {
+		return false
+	}
+	select {
+	case <-cfg.Interrupt:
+		return true
+	default:
+		return false
+	}
+}
 
 // Progress is one cumulative campaign snapshot, summed across matrix rows.
 // Fields are totals since the campaign started; callers derive rates by
@@ -646,6 +675,11 @@ func (r *fsRun) generate(jobs chan<- fsJob) error {
 		if r.cfg.MaxWorkloads > 0 && seq > r.cfg.MaxWorkloads {
 			return false
 		}
+		// A graceful interrupt stops feeding; in-flight jobs drain and are
+		// recorded, and finish() skips the completion marker.
+		if r.cfg.interrupted() {
+			return false
+		}
 		// A failed corpus write fails the whole campaign; stop feeding it
 		// instead of testing for hours and then discarding the results.
 		if r.corpusFailed.Load() {
@@ -678,21 +712,26 @@ func (r *fsRun) generate(jobs chan<- fsJob) error {
 // Called after the worker pool has drained. Errors are returned unwrapped
 // (the corpus package already prefixes them); RunMatrix adds the one
 // campaign-and-FS-naming wrap.
-func (r *fsRun) finish(start time.Time) error {
+func (r *fsRun) finish(start time.Time, interrupted bool) error {
 	if r.corpusErr != nil {
 		return r.corpusErr
 	}
 	stats, cnt := r.stats, &r.cnt
 	stats.Elapsed = time.Since(start)
-	// The campaign ran to completion: mark the shard mergeable, then close
+	// A completed campaign marks the shard mergeable; an interrupted one
+	// deliberately does not — its enumeration stopped early, so the marker
+	// would lie — but still closes (checkpointing) so every recorded
+	// workload is durable and the shard resumes exactly here. Close
 	// explicitly so a failed final checkpoint surfaces instead of vanishing
 	// in the deferred (idempotent) Close.
 	if r.shard != nil {
-		if err := r.shard.AppendDone(corpus.DoneRecord{
-			Generated: stats.Generated,
-			ElapsedNS: int64(stats.Elapsed),
-		}); err != nil {
-			return err
+		if !interrupted {
+			if err := r.shard.AppendDone(corpus.DoneRecord{
+				Generated: stats.Generated,
+				ElapsedNS: int64(stats.Elapsed),
+			}); err != nil {
+				return err
+			}
 		}
 		if err := r.shard.Close(); err != nil {
 			return err
@@ -755,10 +794,14 @@ type fsJob struct {
 	seq int64
 }
 
-// Run executes a single-file-system campaign.
+// Run executes a single-file-system campaign. On a graceful interrupt the
+// partial statistics are returned alongside ErrInterrupted.
 func Run(cfg Config) (*Stats, error) {
 	m, err := RunMatrix(cfg, nil)
 	if err != nil {
+		if errors.Is(err, ErrInterrupted) && m != nil && len(m.PerFS) > 0 {
+			return m.PerFS[0], err
+		}
 		return nil, err
 	}
 	return m.PerFS[0], nil
@@ -938,14 +981,21 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 			return nil, fmt.Errorf("campaign: %s: generation: %w", r.cfg.FS.Name(), genErrs[i])
 		}
 	}
+	// Sample the interrupt once so every row agrees on whether this run may
+	// mark its shard complete (an interrupt landing mid-finish must not
+	// leave some rows mergeable and others not).
+	interrupted := cfg.interrupted()
 	matrix := &Matrix{}
 	for _, r := range runs {
-		if err := r.finish(start); err != nil {
+		if err := r.finish(start, interrupted); err != nil {
 			return nil, fmt.Errorf("campaign: %s: %w", r.cfg.FS.Name(), err)
 		}
 		matrix.PerFS = append(matrix.PerFS, r.stats)
 	}
 	matrix.Elapsed = time.Since(start)
+	if interrupted {
+		return matrix, ErrInterrupted
+	}
 	return matrix, nil
 }
 

@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -599,6 +601,96 @@ func TestResumeMatchesUninterrupted(t *testing.T) {
 	assertSameGroups(t, again, uninterrupted)
 }
 
+// TestInterruptCheckpointsAndResumes: closing Config.Interrupt stops the
+// campaign early with ErrInterrupted and partial stats; everything tested
+// so far is durable in the corpus shard, the shard carries no completion
+// marker, and a plain resume finishes the campaign with totals identical
+// to an uninterrupted run. This is the graceful half of crash tolerance —
+// SIGINT in cmd/b3 and lease loss in a fleet worker both ride this path.
+func TestInterruptCheckpointsAndResumes(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:           fs,
+		Bounds:       linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery:  3,
+		MaxWorkloads: 6000,
+	}
+	uninterrupted, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	interrupt := make(chan struct{})
+	var once sync.Once
+	partial := base
+	partial.CorpusDir = dir
+	partial.CheckpointEvery = 8
+	partial.Interrupt = interrupt
+	partial.ProgressEvery = time.Millisecond
+	partial.OnProgress = func(Progress) {
+		once.Do(func() { close(interrupt) })
+	}
+	stats, err := Run(partial)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("interrupted run returned err=%v, want ErrInterrupted", err)
+	}
+	if stats == nil {
+		t.Fatal("interrupted run returned no partial stats")
+	}
+	if stats.Generated >= uninterrupted.Generated {
+		t.Fatalf("interrupt did not stop generation early: generated %d of %d",
+			stats.Generated, uninterrupted.Generated)
+	}
+
+	// Every workload the partial run tested is durable, and the shard must
+	// NOT carry a completion marker: the space was not exhausted.
+	loaded, err := corpus.LoadShard(stats.CorpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Done != nil {
+		t.Fatal("interrupted shard carries a completion marker")
+	}
+	if got, want := int64(len(loaded.Records)), stats.Tested+stats.Errors; got != want {
+		t.Fatalf("interrupted shard holds %d records, want tested+errors=%d", got, want)
+	}
+
+	resume := base
+	resume.CorpusDir = dir
+	resume.Resume = true
+	resumed, err := Run(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed != stats.Tested+stats.Errors {
+		t.Fatalf("resume folded %d workloads, want %d", resumed.Resumed, stats.Tested+stats.Errors)
+	}
+	if resumed.Generated != uninterrupted.Generated ||
+		resumed.Tested != uninterrupted.Tested ||
+		resumed.Failed != uninterrupted.Failed ||
+		resumed.Errors != uninterrupted.Errors ||
+		resumed.StatesTotal != uninterrupted.StatesTotal {
+		t.Fatalf("resumed totals diverged:\nresumed: gen=%d tested=%d failed=%d errors=%d states=%d\nbaseline: gen=%d tested=%d failed=%d errors=%d states=%d",
+			resumed.Generated, resumed.Tested, resumed.Failed, resumed.Errors, resumed.StatesTotal,
+			uninterrupted.Generated, uninterrupted.Tested, uninterrupted.Failed, uninterrupted.Errors, uninterrupted.StatesTotal)
+	}
+	assertSameGroups(t, resumed, uninterrupted)
+
+	// The finished shard is now complete and a further resume re-tests
+	// nothing.
+	loaded, err = corpus.LoadShard(resumed.CorpusPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Done == nil {
+		t.Fatal("resumed-to-completion shard lacks a completion marker")
+	}
+}
+
 // TestResumeIsolatesDifferentSpaces: a corpus shard is keyed by the full
 // configuration fingerprint, so a differently-configured campaign — even a
 // non-resume one — gets its own shard and can never truncate or silently
@@ -1157,6 +1249,89 @@ func TestMergeRefusesMisuse(t *testing.T) {
 	_, err = MergeDir(dir, nil)
 	if err == nil || !strings.Contains(err.Error(), "sample") {
 		t.Fatalf("mixed-campaign merge error does not name the differing knob: %v", err)
+	}
+}
+
+// TestMergeRefinedResidueSystem: merging accepts a mixed-modulus exact
+// cover — the shape the fleet coordinator produces when it work-steals by
+// splitting an untouched class (r, n) into (r, 2n) ∪ (r+n, 2n) — and the
+// folded totals and groups still match the unsharded run. Incomplete or
+// overlapping refinements are refused by the disjointness + density gate.
+func TestMergeRefinedResidueSystem(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:          fs,
+		Bounds:      linkBounds(workload.OpCreat, workload.OpLink),
+		SampleEvery: 4,
+	}
+	want, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// {(0,2), (1,4), (3,4)}: class (1,2) split in two. Density 1/2+1/4+1/4.
+	dir := t.TempDir()
+	for _, c := range []struct{ r, n int }{{0, 2}, {1, 4}, {3, 4}} {
+		cfg := base
+		cfg.CorpusDir = dir
+		cfg.Shard, cfg.NumShards = c.r, c.n
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := MergeDir(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := merged.ByFS("logfs")
+	if row == nil {
+		t.Fatal("no merged row for logfs")
+	}
+	if row.ShardsMerged != 3 || row.NumShards != 4 {
+		t.Fatalf("refined merge bookkeeping: merged=%d finest=%d, want 3 and 4",
+			row.ShardsMerged, row.NumShards)
+	}
+	if row.Stats.Generated != want.Generated || row.Stats.Tested != want.Tested ||
+		row.Stats.Failed != want.Failed || row.Stats.Errors != want.Errors ||
+		row.Stats.StatesTotal != want.StatesTotal {
+		t.Fatalf("refined merge diverged from unsharded:\nmerged: gen=%d tested=%d failed=%d errors=%d states=%d\nwant:   gen=%d tested=%d failed=%d errors=%d states=%d",
+			row.Stats.Generated, row.Stats.Tested, row.Stats.Failed, row.Stats.Errors, row.Stats.StatesTotal,
+			want.Generated, want.Tested, want.Failed, want.Errors, want.StatesTotal)
+	}
+	assertSameGroups(t, row.Stats, want)
+
+	// (1,4) ⊂ (1,2): overlapping classes are refused even though the
+	// density happens to exceed one.
+	overlapDir := t.TempDir()
+	for _, c := range []struct{ r, n int }{{0, 2}, {1, 2}, {1, 4}, {3, 4}} {
+		cfg := base
+		cfg.CorpusDir = overlapDir
+		cfg.Shard, cfg.NumShards = c.r, c.n
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MergeDir(overlapDir, nil); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Fatalf("overlapping residue classes not refused: %v", err)
+	}
+
+	// {(0,2), (1,4)}: disjoint but only 3/4 of the space. The error names
+	// the coverage so the operator knows it is a refined (not uniform)
+	// system with classes missing.
+	partialDir := t.TempDir()
+	for _, c := range []struct{ r, n int }{{0, 2}, {1, 4}} {
+		cfg := base
+		cfg.CorpusDir = partialDir
+		cfg.Shard, cfg.NumShards = c.r, c.n
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := MergeDir(partialDir, nil); err == nil || !strings.Contains(err.Error(), "3/4") {
+		t.Fatalf("partial refined cover not refused with coverage: %v", err)
 	}
 }
 

@@ -13,6 +13,7 @@ package campaign
 
 import (
 	"fmt"
+	"math/big"
 	"sort"
 	"strconv"
 	"strings"
@@ -39,8 +40,9 @@ type MergeRow struct {
 	Stats *Stats
 	// Profile is the recorded human-chosen profile label.
 	Profile string
-	// NumShards is the residue-system size the campaign was partitioned
-	// into (0 for an unsharded corpus).
+	// NumShards is the finest modulus in the merged residue system (0 for
+	// an unsharded corpus): the -shard i/n denominator for a uniform
+	// partition, the deepest split for a refined (work-stolen) one.
 	NumShards int
 	// ShardsMerged is how many corpus shards folded into this row (1 for
 	// an unsharded corpus, NumShards for a complete residue system).
@@ -80,11 +82,12 @@ func MergeDir(dir string, knownDBFor func(fsName string) *report.KnownDB) (*Merg
 
 // MergeStats folds loaded corpus shards into per-(file system,
 // configuration) campaign statistics. Shards are grouped by (file system,
-// config fingerprint); each group must be a complete residue system —
-// every shard marked done, residues 0..n-1 present exactly once,
-// consistent n — and every record's sequence number must lie in its
-// shard's residue class, so a merged row is provably the union of one
-// partitioned campaign and nothing else. Several profiles per file system
+// config fingerprint); each group must be an exact residue cover — every
+// shard marked done, classes pairwise disjoint with densities summing to
+// one (the classic 0..n-1 system, or a refined mixed-modulus system after
+// fleet work-stealing splits) — and every record's sequence number must
+// lie in its shard's residue class, so a merged row is provably the union
+// of one partitioned campaign and nothing else. Several profiles per file system
 // merge into separate rows (a -find-new-bugs corpus holds one shard per
 // (fs, profile) pair); two *same-profile* configurations for one file
 // system are misuse — the totals would be ambiguous — and are refused
@@ -127,37 +130,95 @@ func MergeStats(shards []*corpus.LoadedShard, knownDBFor func(fsName string) *re
 	return m, nil
 }
 
-// mergeGroup folds the shards of one (fs, config) group into a MergeRow.
-func mergeGroup(shards []*corpus.LoadedShard, knownDBFor func(string) *report.KnownDB) (*MergeRow, error) {
-	meta := shards[0].Meta
-	n := meta.NumShards
-	if n <= 1 {
-		n = 1
+// residueClass is one shard's slice of the sampled workload index space:
+// indices m with m ≡ r (mod n). An unsharded corpus is the whole space,
+// (0, 1).
+type residueClass struct{ r, n int }
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
 	}
-	if len(shards) != n {
-		return nil, fmt.Errorf(
-			"campaign: merge: %s on %s has %d of %d shards (first: %s); run the missing residue classes first",
-			meta.Profile, meta.FS, len(shards), n, shards[0].Path)
-	}
-	seen := make(map[int]bool, n)
-	var generated int64 = -1
-	for _, s := range shards {
-		if s.Meta.NumShards != meta.NumShards {
-			return nil, fmt.Errorf("campaign: merge: %s and %s disagree on the shard count (%s)",
-				shards[0].Path, s.Path, corpus.DiffMeta(*shards[0].Meta, *s.Meta))
+	return a
+}
+
+// overlaps reports whether two residue classes intersect: r₁ ≡ r₂
+// (mod gcd(n₁, n₂)) by the Chinese remainder theorem.
+func (c residueClass) overlaps(o residueClass) bool {
+	g := gcd(c.n, o.n)
+	return c.r%g == o.r%g
+}
+
+// checkResidueSystem verifies the shards form an exact cover of the
+// sampled index space: pairwise-disjoint residue classes whose densities
+// Σ 1/nᵢ sum to one. The uniform case (all moduli equal) is the classic
+// complete system 0..n-1; mixed moduli arise when the fleet coordinator
+// splits an abandoned class (r, n) into (r, 2n) ∪ (r+n, 2n) for
+// work-stealing — disjointness plus full density is exactly the condition
+// under which the union is provably one whole enumeration, no matter how
+// many times classes were refined.
+func checkResidueSystem(shards []*corpus.LoadedShard) error {
+	classes := make([]residueClass, len(shards))
+	uniform := true
+	for i, s := range shards {
+		n := s.Meta.NumShards
+		if n <= 1 {
+			n = 1
 		}
 		if n > 1 && (s.Meta.Shard < 0 || s.Meta.Shard >= n) {
 			// A hand-moved or corrupted shard file; without this check an
 			// out-of-range (possibly record-free) shard could stand in for
-			// a missing residue class by count alone.
-			return nil, fmt.Errorf("campaign: merge: %s records residue class %s outside 0..%d",
+			// a missing residue class by density alone.
+			return fmt.Errorf("campaign: merge: %s records residue class %s outside 0..%d",
 				s.Path, s.Meta.ShardLabel(), n-1)
 		}
-		if seen[s.Meta.Shard] {
-			return nil, fmt.Errorf("campaign: merge: duplicate shard %s (%s)",
-				s.Meta.ShardLabel(), s.Path)
+		classes[i] = residueClass{s.Meta.Shard, n}
+		if n != classes[0].n {
+			uniform = false
 		}
-		seen[s.Meta.Shard] = true
+	}
+	for i, c := range classes {
+		for j, o := range classes[:i] {
+			if c == o {
+				return fmt.Errorf("campaign: merge: duplicate shard %s (%s)",
+					shards[i].Meta.ShardLabel(), shards[i].Path)
+			}
+			if c.overlaps(o) {
+				g := gcd(c.n, o.n)
+				return fmt.Errorf(
+					"campaign: merge: shards %s (%s) and %s (%s) overlap: both hold workload indices ≡ %d (mod %d)",
+					shards[j].Meta.ShardLabel(), shards[j].Path,
+					shards[i].Meta.ShardLabel(), shards[i].Path,
+					c.r%g, g)
+			}
+		}
+	}
+	density := new(big.Rat)
+	for _, c := range classes {
+		density.Add(density, big.NewRat(1, int64(c.n)))
+	}
+	if density.Cmp(big.NewRat(1, 1)) != 0 {
+		meta := shards[0].Meta
+		if uniform {
+			return fmt.Errorf(
+				"campaign: merge: %s on %s has %d of %d shards (first: %s); run the missing residue classes first",
+				meta.Profile, meta.FS, len(shards), classes[0].n, shards[0].Path)
+		}
+		return fmt.Errorf(
+			"campaign: merge: %s on %s: %d residue classes cover %s of the workload space (first: %s); run the missing classes first",
+			meta.Profile, meta.FS, len(shards), density.RatString(), shards[0].Path)
+	}
+	return nil
+}
+
+// mergeGroup folds the shards of one (fs, config) group into a MergeRow.
+func mergeGroup(shards []*corpus.LoadedShard, knownDBFor func(string) *report.KnownDB) (*MergeRow, error) {
+	meta := shards[0].Meta
+	if err := checkResidueSystem(shards); err != nil {
+		return nil, err
+	}
+	var generated int64 = -1
+	for _, s := range shards {
 		if s.Done == nil {
 			return nil, fmt.Errorf(
 				"campaign: merge: shard %s is incomplete (no completion marker): resume it with the same flags before merging",
@@ -175,10 +236,19 @@ func mergeGroup(shards []*corpus.LoadedShard, knownDBFor func(string) *report.Kn
 		}
 	}
 
+	// The finest modulus in the system; for a uniform partition this is the
+	// -shard i/n denominator, for a refined (work-stolen) system it is the
+	// deepest split.
+	numShards := meta.NumShards
+	for _, s := range shards {
+		if s.Meta.NumShards > numShards {
+			numShards = s.Meta.NumShards
+		}
+	}
 	row := &MergeRow{
 		Stats:        &Stats{FSName: meta.FS, Generated: generated},
 		Profile:      meta.Profile,
-		NumShards:    meta.NumShards,
+		NumShards:    numShards,
 		ShardsMerged: len(shards),
 	}
 	var cnt counters

@@ -1,0 +1,52 @@
+// Campaign tiers: named presets binding a workload profile to the
+// crash-state knobs a recurring sweep should run with, so CI jobs, the
+// fleet coordinator, and a human at the CLI all mean the same thing by
+// "quick" or "nightly" instead of each hand-assembling a flag soup that
+// silently drifts.
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"b3/internal/ace"
+)
+
+// Tier is one named campaign preset. FS lists backend names ("all" is
+// resolved by the caller — this package stays free of the backend
+// registry); Faults is the -faults comma list ("" = none).
+type Tier struct {
+	Name        string
+	Profile     ace.ProfileName
+	FS          []string
+	Reorder     int
+	Faults      string
+	Sector      int
+	SampleEvery int64
+}
+
+// Tiers returns the named presets, cheapest first.
+//
+//   - quick: the CI smoke configuration — seq-1 across every backend with
+//     bounded reordering k=1. Small enough for a pull-request gate, broad
+//     enough that every backend and the reorder axis stay exercised.
+//   - nightly: the unsampled seq-3-metadata sweep across every backend —
+//     the PR 7 tractability target, sized for a scheduled run.
+func Tiers() []Tier {
+	return []Tier{
+		{Name: "quick", Profile: ace.ProfileSeq1, FS: []string{"all"}, Reorder: 1},
+		{Name: "nightly", Profile: ace.ProfileSeq3Metadata, FS: []string{"all"}},
+	}
+}
+
+// LookupTier resolves a tier by name, failing with the list of valid names.
+func LookupTier(name string) (Tier, error) {
+	var names []string
+	for _, t := range Tiers() {
+		if t.Name == name {
+			return t, nil
+		}
+		names = append(names, t.Name)
+	}
+	return Tier{}, fmt.Errorf("campaign: unknown tier %q (have %s)", name, strings.Join(names, ", "))
+}

@@ -36,6 +36,22 @@ import (
 // to recreate.
 var ErrNoMeta = errors.New("corpus: missing meta record")
 
+// ErrRecordsAfterDone marks a shard holding workload records directly after
+// a completion marker with no intervening Reopen record. A well-behaved
+// writer never produces that sequence: Resume explicitly invalidates a live
+// marker with a Reopen line before appending anything new, so records right
+// after a DoneRecord mean the file was appended to by something other than
+// this package (a hand-edit, a concatenation, an older build) and its
+// completion status is no longer trustworthy. Loading fails loudly instead
+// of silently treating the shard as merely incomplete.
+var ErrRecordsAfterDone = errors.New("corpus: workload records follow the completion marker")
+
+// ErrLocked marks a shard (or sibling journal) whose advisory lock is held
+// by another live process. Fleet workers use this to recognise a residue
+// class still held by a zombie predecessor: the lease is released and
+// retried later instead of failing the worker.
+var ErrLocked = errors.New("corpus: file is locked by another process")
+
 // FormatVersion is bumped when the record schema changes incompatibly.
 const FormatVersion = 1
 
@@ -285,11 +301,19 @@ type DoneRecord struct {
 	ElapsedNS int64 `json:"elapsedNs,omitempty"`
 }
 
+// ReopenRecord explicitly invalidates the shard's completion marker: Resume
+// appends one before any new workload record when it reopens a shard whose
+// campaign had already finished (e.g. a -max bound raised), so "records
+// after a DoneRecord" is either announced — and the shard cleanly reads as
+// in-progress again — or an ErrRecordsAfterDone corruption.
+type ReopenRecord struct{}
+
 // line is the JSONL envelope: exactly one field is set per line.
 type line struct {
 	Meta     *Meta           `json:"meta,omitempty"`
 	Workload *WorkloadRecord `json:"workload,omitempty"`
 	Done     *DoneRecord     `json:"done,omitempty"`
+	Reopen   *ReopenRecord   `json:"reopen,omitempty"`
 }
 
 // ShardPath returns the file a campaign key is stored under.
@@ -419,6 +443,22 @@ func Resume(dir, key string, meta Meta) (*Shard, map[int64]*WorkloadRecord, erro
 		done[r.Seq] = r
 	}
 	s := &Shard{f: f, bw: bufio.NewWriter(f), path: path, FlushEvery: DefaultFlushEvery}
+	if loaded.Done != nil {
+		// The campaign had finished; resuming may append past its recorded
+		// end. Announce that durably before any new record so the marker is
+		// explicitly invalidated (ErrRecordsAfterDone guards the unannounced
+		// case). A clean re-finish appends a fresh marker, and a torn Reopen
+		// line simply leaves the shard complete (nothing after it can have
+		// reached disk either).
+		if err := s.appendLine(line{Reopen: &ReopenRecord{}}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := s.Checkpoint(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
 	return s, done, nil
 }
 
@@ -514,10 +554,19 @@ func loadShard(path string) (*LoadedShard, error) {
 			}
 			s.Meta = l.Meta
 		case l.Workload != nil:
+			// A workload record directly after a completion marker would make
+			// the marker silently stale: our own writers always announce the
+			// reopening (Resume appends a Reopen line first), so fail loudly
+			// instead of guessing at the shard's completion status.
+			if s.Done != nil {
+				return nil, fmt.Errorf("%w: %s holds workload seq %d after its completion marker",
+					ErrRecordsAfterDone, path, l.Workload.Seq)
+			}
 			s.Records = append(s.Records, l.Workload)
-			// A workload record after a completion marker means the shard
-			// was resumed past its recorded end (e.g. with a higher
-			// workload cap) and not finished again: the marker is stale.
+		case l.Reopen != nil:
+			// The shard was deliberately resumed past its recorded end (e.g.
+			// with a higher workload cap): the completion marker no longer
+			// covers what follows.
 			s.Done = nil
 		case l.Done != nil:
 			s.Done = l.Done

@@ -480,3 +480,81 @@ func TestLoadDir(t *testing.T) {
 		t.Fatal("empty directory accepted")
 	}
 }
+
+// TestRecordsAfterDoneFailLoudly: workload records directly after a
+// completion marker — the unannounced append this package's own writers
+// never produce — must fail loading with ErrRecordsAfterDone instead of
+// silently reading as an incomplete shard. The announced path (Resume's
+// Reopen record) stays loadable.
+func TestRecordsAfterDoneFailLoudly(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Create(dir, "staleness", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(1, VerdictClean)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AppendDone(DoneRecord{Generated: 4}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a foreign writer (older build, hand-edit, concatenation)
+	// appending a record without announcing the reopen.
+	if err := s.Append(rec(2, VerdictClean)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(s.Path()); !errors.Is(err, ErrRecordsAfterDone) {
+		t.Fatalf("unannounced record after done marker loaded with err=%v, want ErrRecordsAfterDone", err)
+	}
+	if _, err := LoadShard(s.Path()); !errors.Is(err, ErrRecordsAfterDone) {
+		t.Fatalf("LoadShard: got %v, want ErrRecordsAfterDone", err)
+	}
+	// Resume goes through the same loader, so the poisoned shard cannot be
+	// silently extended either.
+	if _, _, err := Resume(dir, "staleness", testMeta()); !errors.Is(err, ErrRecordsAfterDone) {
+		t.Fatalf("Resume: got %v, want ErrRecordsAfterDone", err)
+	}
+
+	// The announced path: Resume invalidates the marker with a Reopen record
+	// before appending, so the same byte sequence modulo the Reopen line
+	// loads cleanly as an in-progress shard.
+	s2, err := Create(dir, "reopened", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Append(rec(1, VerdictClean)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AppendDone(DoneRecord{Generated: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, recs, err := Resume(dir, "reopened", testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("resumed shard lost records: got %d, want 1", len(recs))
+	}
+	if err := s3.Append(rec(2, VerdictClean)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadShard(s3.Path())
+	if err != nil {
+		t.Fatalf("announced resume-past-done shard refused: %v", err)
+	}
+	if loaded.Done != nil {
+		t.Fatalf("reopened shard still reads as complete: %+v", loaded.Done)
+	}
+	if len(loaded.Records) != 2 {
+		t.Fatalf("want 2 records after announced extension, got %d", len(loaded.Records))
+	}
+}

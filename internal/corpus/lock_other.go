@@ -16,3 +16,9 @@ func lockFile(f *os.File) error {
 	return fmt.Errorf("corpus: shard %s: single-writer locking is unsupported on this platform: %w",
 		f.Name(), errors.ErrUnsupported)
 }
+
+// LockFile matches the unix build's exported signature; see lock_unix.go.
+func LockFile(f *os.File) error {
+	return fmt.Errorf("corpus: %s: single-writer locking is unsupported on this platform: %w",
+		f.Name(), errors.ErrUnsupported)
+}

@@ -1,0 +1,200 @@
+// The fleet ledger: an append-only, crash-safe journal of lease-table
+// transitions, following the internal/corpus shard discipline — one JSON
+// record per line, a binding first record (the Spec, where corpus shards
+// carry a Meta), a flock single-writer guard, fsync at every append (lease
+// transitions are rare, so unlike corpus records each one is durable
+// before it takes effect), and torn-tail tolerance on load: a line half
+// written when the coordinator died is dropped and truncated away before
+// new appends.
+//
+// The ledger file lives in the corpus directory as "fleet.ledger" — NOT a
+// .jsonl file, so corpus.LoadDir (and therefore the merge gate) never
+// mistakes it for a shard.
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"b3/internal/corpus"
+)
+
+// LedgerName is the journal's filename inside the corpus directory.
+const LedgerName = "fleet.ledger"
+
+// ErrSpecMismatch marks a ledger whose journaled Spec differs from the
+// one the coordinator was started with: two different campaigns may not
+// share a corpus directory, and silently adopting either spec would
+// corrupt the other's residue accounting.
+var ErrSpecMismatch = errors.New("fleet: ledger spec differs from the configured spec")
+
+// Event is one journaled lease-table transition. Worker and Lease are
+// meaningful per kind (a split has neither); TimeNS records wall-clock for
+// operators reading the journal and plays no part in replay.
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	Class  Class     `json:"class"`
+	Lease  int64     `json:"lease,omitempty"`
+	Worker string    `json:"worker,omitempty"`
+	TimeNS int64     `json:"time_ns,omitempty"`
+}
+
+// ledgerLine is the on-disk envelope: exactly one field set per line.
+type ledgerLine struct {
+	Spec  *Spec  `json:"spec,omitempty"`
+	Event *Event `json:"event,omitempty"`
+}
+
+// Ledger is the open, flock-guarded journal.
+type Ledger struct {
+	f    *os.File
+	path string
+}
+
+// OpenLedger opens (creating if needed) the journal under dir and returns
+// the replayable event history. A fresh ledger journals spec as its first
+// record; an existing one must carry the identical spec. The returned
+// events are exactly the complete, well-formed lines on disk — a torn
+// tail is dropped and truncated so appends start on a line boundary.
+func OpenLedger(dir string, spec Spec) (*Ledger, []Event, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	path := filepath.Join(dir, LedgerName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	if err := corpus.LockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: ledger %s is held by another coordinator: %w", path, err)
+	}
+	// The lock is held, so the contents are stable from here on.
+	onDisk, events, validLen, err := loadLedger(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: ledger %s: %w", path, err)
+	}
+	l := &Ledger{f: f, path: path}
+	if onDisk == nil {
+		// Fresh (or killed before the spec line reached disk, in which
+		// case no event can have either): journal the binding spec.
+		if err := l.appendLine(ledgerLine{Spec: &spec}); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return l, nil, nil
+	}
+	if diff := diffSpec(*onDisk, spec); diff != "" {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w: %s: %s", ErrSpecMismatch, path, diff)
+	}
+	// Drop the torn tail (if any) so appends start on a line boundary.
+	if err := f.Truncate(validLen); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	if _, err := f.Seek(validLen, 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return l, events, nil
+}
+
+// loadLedger reads the journal: the spec line (nil if absent/torn), the
+// complete events after it, and the byte length of the well-formed prefix.
+func loadLedger(f *os.File) (*Spec, []Event, int64, error) {
+	if _, err := f.Seek(0, 0); err != nil {
+		return nil, nil, 0, err
+	}
+	var (
+		spec     *Spec
+		events   []Event
+		validLen int64
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		raw := sc.Bytes()
+		// A torn final line has no trailing newline; only lines followed
+		// by more bytes (or ending in \n) are trusted. Re-checking via
+		// the running offset against the file size handles the last line.
+		var l ledgerLine
+		if err := json.Unmarshal(raw, &l); err != nil {
+			break // torn or garbage tail: ignore the rest
+		}
+		lineLen := int64(len(raw)) + 1
+		if !endsWithNewline(f, validLen+lineLen) {
+			break
+		}
+		switch {
+		case l.Spec != nil:
+			if spec != nil {
+				return nil, nil, 0, fmt.Errorf("duplicate spec record")
+			}
+			spec = l.Spec
+		case l.Event != nil:
+			if spec == nil {
+				return nil, nil, 0, fmt.Errorf("event before the spec record")
+			}
+			events = append(events, *l.Event)
+		default:
+			return nil, nil, 0, fmt.Errorf("empty ledger record")
+		}
+		validLen += lineLen
+	}
+	return spec, events, validLen, nil
+}
+
+// endsWithNewline reports whether the byte before offset end is '\n' —
+// i.e. the scanned line was newline-terminated rather than a torn tail.
+func endsWithNewline(f *os.File, end int64) bool {
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, end-1); err != nil {
+		return false
+	}
+	return buf[0] == '\n'
+}
+
+// diffSpec names the fields where two specs differ ("" if identical).
+func diffSpec(got, want Spec) string {
+	g, _ := json.Marshal(got)
+	w, _ := json.Marshal(want)
+	if bytes.Equal(g, w) {
+		return ""
+	}
+	return fmt.Sprintf("ledger has %s, coordinator configured %s", g, w)
+}
+
+// Append journals one event, durably: the write is fsynced before Append
+// returns, so a transition is never acted on before it would survive a
+// coordinator crash.
+func (l *Ledger) Append(e Event) error {
+	return l.appendLine(ledgerLine{Event: &e})
+}
+
+func (l *Ledger) appendLine(line ledgerLine) error {
+	b, err := json.Marshal(line)
+	if err != nil {
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := l.f.Write(b); err != nil {
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("fleet: ledger: %w", err)
+	}
+	return nil
+}
+
+// Path returns the journal's location.
+func (l *Ledger) Path() string { return l.path }
+
+// Close releases the flock and closes the file.
+func (l *Ledger) Close() error { return l.f.Close() }

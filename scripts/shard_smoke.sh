@@ -29,7 +29,7 @@ go run ./cmd/b3 -profile seq-1 -fs all >"$work/unsharded.out"
 # registered backends join the comparison automatically. The merged table is
 #   fs profile shards generated tested failing groups new states reorder r-broken torn corrupt misdir replayed
 # and the matrix table is
-#   fs generated tested failing groups new states pruned% evicted rw/state reorder r-broken torn corrupt misdir
+#   fs generated tested failing groups new states pruned% evicted rw/state reorder r-skip r-broken torn corrupt misdir
 # so pick the shared columns by position and normalize both to
 #   fs generated tested failing groups new states reorder r-broken
 # (a column added to either table misaligns the picks and the diff below
@@ -37,7 +37,7 @@ go run ./cmd/b3 -profile seq-1 -fs all >"$work/unsharded.out"
 table_rows='$1 ~ /^-+$/ {t=1; next} t && NF == 0 {t=0} t'
 awk "$table_rows"' {print $1, $4, $5, $6, $7, $8, $9, $10, $11}' \
   "$work/merged.out" | sort >"$work/merged.counters"
-awk "$table_rows"' {print $1, $2, $3, $4, $5, $6, $7, $11, $12}' \
+awk "$table_rows"' {print $1, $2, $3, $4, $5, $6, $7, $11, $13}' \
   "$work/unsharded.out" | sort >"$work/unsharded.counters"
 
 echo "== merged counters" >&2
