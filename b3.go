@@ -11,6 +11,7 @@ import (
 	"b3/internal/crashmonkey"
 	"b3/internal/filesys"
 	"b3/internal/fsmake"
+	"b3/internal/kvace"
 	"b3/internal/report"
 	"b3/internal/study"
 	"b3/internal/workload"
@@ -169,7 +170,9 @@ type Campaign struct {
 	// FS is the file system under test (ignored by RunCampaignMatrix,
 	// which takes its row list explicitly).
 	FS FileSystem
-	// Profile selects a Table 4 workload set; Bounds overrides it.
+	// Profile selects a Table 4 workload set, or — with a "kv-" name
+	// (kv-seq1, kv-seq2, ...) — a bounded application-level KV workload
+	// space checked through the expected-state oracle; Bounds overrides it.
 	Profile ace.ProfileName
 	// Bounds, when non-nil, is the exact ACE exploration space to sweep
 	// instead of a named profile.
@@ -312,8 +315,16 @@ func MergeCampaignCorpus(dir string, dedupKnown bool) (*CampaignMerge, error) {
 func (c Campaign) config() (campaign.Config, error) {
 	bounds := ace.Default(1)
 	label := "campaign"
+	var kv *kvace.Bounds
 	if c.Bounds != nil {
 		bounds = *c.Bounds
+	} else if kvace.IsProfile(string(c.Profile)) {
+		kb, err := kvace.Profile(string(c.Profile))
+		if err != nil {
+			return campaign.Config{}, err
+		}
+		kv = &kb
+		label = string(c.Profile)
 	} else if c.Profile != "" {
 		var err error
 		bounds, err = ace.Profile(c.Profile)
@@ -325,6 +336,7 @@ func (c Campaign) config() (campaign.Config, error) {
 	cfg := campaign.Config{
 		FS:             c.FS,
 		Bounds:         bounds,
+		KV:             kv,
 		Workers:        c.Workers,
 		MaxWorkloads:   c.MaxWorkloads,
 		SampleEvery:    c.SampleEvery,
@@ -378,6 +390,19 @@ func DefaultBounds(seqLen int) Bounds { return ace.Default(seqLen) }
 
 // ProfileBounds returns the bounds of a Table 4 profile.
 func ProfileBounds(name ace.ProfileName) (Bounds, error) { return ace.Profile(name) }
+
+// IsKVProfile reports whether a profile name selects the application-level
+// KV workload family (kv-seq1, kv-seq2, ...) instead of an ACE file space.
+func IsKVProfile(name string) bool { return kvace.IsProfile(name) }
+
+// CountKVWorkloads returns the number of workloads a KV profile enumerates.
+func CountKVWorkloads(name string) (int64, error) {
+	b, err := kvace.Profile(name)
+	if err != nil {
+		return 0, err
+	}
+	return kvace.New(b).Count()
+}
 
 // GenerateWorkloads streams the bounded workload space to fn (ACE).
 func GenerateWorkloads(b Bounds, fn func(*Workload) bool) (int64, error) {

@@ -21,6 +21,8 @@
 //	b3 -profile seq-3-data -prune-cap 65536 # bound the verdict cache
 //	b3 -profile seq-2 -scratch-states       # cross-check: from-scratch states
 //	b3 -profile seq-1 -fs all -v            # + block-IO metering per row
+//	b3 -workload kv -fs all -reorder 1      # application-level KV store + oracle
+//	b3 -profile kv-seq2 -fs all -faults torn,corrupt  # deeper KV space + fault axis
 //	b3 -tier quick                          # named preset: seq-1, all FS, reorder 1
 //	b3 -serve :8080 -tier quick -corpus runs/   # fleet coordinator: leases + ledger
 //	b3 -worker http://host:8080             # fleet worker (shares the corpus dir)
@@ -51,7 +53,8 @@ func main() {
 		findNew   = flag.Bool("find-new-bugs", false, "run the Table 5 campaign: find the new bugs at kernel 4.16")
 		table4    = flag.Bool("table4", false, "count the Table 4 workload sets (slow: full enumeration)")
 		reproduce = flag.Bool("reproduce", false, "reproduce the 24 known bugs on their reported kernels (appendix 9.1)")
-		profile   = flag.String("profile", "", "run one campaign profile: seq-1 | seq-2 | seq-3-*")
+		profile   = flag.String("profile", "", "run one campaign profile: seq-1 | seq-2 | seq-3-* | kv-seq1 | kv-seq2")
+		workloadF = flag.String("workload", "", "workload family: fs (ACE file operations, the default) | kv (application-level KV store checked by the expected-state oracle; defaults -profile to kv-seq1)")
 		fsName    = flag.String("fs", "logfs", "file system(s) under test: one name, a comma list, or \"all\"")
 		sample    = flag.Int64("sample", 1, "test every n-th workload")
 		maxW      = flag.Int64("max", 0, "stop generation after this many workloads")
@@ -73,7 +76,7 @@ func main() {
 		resume    = flag.Bool("resume", false, "resume an interrupted campaign from the -corpus shard")
 		shard     = flag.String("shard", "", "run one residue class i/n of the campaign (e.g. 2/5: workloads with seq%5==2); run all n with the same -corpus, then -merge")
 		mergeDir  = flag.String("merge", "", "fold the completed campaign shards under this directory into one report (no re-running)")
-		tier      = flag.String("tier", "", "apply a named campaign preset's defaults (quick | nightly); explicit flags still win")
+		tier      = flag.String("tier", "", "apply a named campaign preset's defaults (quick | nightly | kv-quick | kv-nightly); explicit flags still win")
 		serveAddr = flag.String("serve", "", "run the fleet coordinator on this listen address (e.g. :8080); needs -corpus and -profile/-tier")
 		workerURL = flag.String("worker", "", "run a fleet worker pulling leases from this coordinator URL")
 		workerID  = flag.String("worker-id", "", "stable worker identity in the fleet status table (default hostname-pid)")
@@ -84,6 +87,21 @@ func main() {
 	flag.Parse()
 	if *tier != "" {
 		applyTier(*tier, profile, fsName, faults, sample, reorder, sector)
+	}
+	switch *workloadF {
+	case "", "fs":
+		// The profile name alone dispatches: a kv- profile runs the KV
+		// family with or without -workload kv.
+	case "kv":
+		if *profile == "" {
+			*profile = "kv-seq1"
+		} else if !b3.IsKVProfile(*profile) {
+			fmt.Fprintf(os.Stderr, "b3: -workload kv needs a kv- profile, got %q\n", *profile)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "b3: unknown -workload %q (want fs or kv)\n", *workloadF)
+		os.Exit(2)
 	}
 	if *resume && *corpusDir == "" {
 		fmt.Fprintln(os.Stderr, "b3: -resume requires -corpus DIR")
@@ -526,6 +544,16 @@ func runProfile(r profileRun) {
 			total.Store(r.maxW)
 		}
 		go func() {
+			if b3.IsKVProfile(r.profile) {
+				// KV spaces count in closed form; the per-workload
+				// state-space probe is a file-level tool, so skip it.
+				if n, err := b3.CountKVWorkloads(r.profile); err == nil {
+					if r.maxW <= 0 || n < r.maxW {
+						total.Store(n)
+					}
+				}
+				return
+			}
 			bounds, err := b3.ProfileBounds(c.Profile)
 			if err != nil {
 				return

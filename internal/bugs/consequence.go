@@ -44,6 +44,14 @@ const (
 	WrongLocation
 	// ResurrectedEntry: a persisted deletion came back after the crash.
 	ResurrectedEntry
+	// KVLostAckWrite: the application-level KV oracle found an acknowledged
+	// update missing after recovery — invisible to file-level checks.
+	KVLostAckWrite
+	// KVResurrectedDelete: an acknowledged KV delete came back.
+	KVResurrectedDelete
+	// KVUnreplayable: the KV store's durable structure (CURRENT, manifest,
+	// table) did not recover, or recovery yielded fabricated contents.
+	KVUnreplayable
 )
 
 var consequenceNames = map[Consequence]string{
@@ -64,6 +72,9 @@ var consequenceNames = map[Consequence]string{
 	CannotCreateFiles:   "unable to create new files",
 	WrongLocation:       "persisted file in wrong directory",
 	ResurrectedEntry:    "persisted deletion resurrected",
+	KVLostAckWrite:      "KV acknowledged write lost",
+	KVResurrectedDelete: "KV acknowledged delete resurrected",
+	KVUnreplayable:      "KV store unreplayable",
 }
 
 // Consequences lists every classified consequence (ConsequenceNone
@@ -117,7 +128,8 @@ func (c Consequence) Bucket() Bucket {
 	switch c {
 	case Unmountable:
 		return BucketUnmountable
-	case DataLoss, WrongSize, BlocksLost, HoleNotPersisted, XattrInconsistent:
+	case DataLoss, WrongSize, BlocksLost, HoleNotPersisted, XattrInconsistent,
+		KVLostAckWrite, KVResurrectedDelete:
 		return BucketDataInconsistency
 	default:
 		return BucketCorruption

@@ -33,6 +33,8 @@ import (
 	"b3/internal/corpus"
 	"b3/internal/crashmonkey"
 	"b3/internal/filesys"
+	"b3/internal/kvace"
+	"b3/internal/kvoracle"
 	"b3/internal/report"
 	"b3/internal/workload"
 )
@@ -41,8 +43,16 @@ import (
 type Config struct {
 	// FS is the file system under test (safe for concurrent mounts).
 	FS filesys.FileSystem
-	// Bounds is the ACE exploration space.
+	// Bounds is the ACE exploration space (ignored when KV is set).
 	Bounds ace.Bounds
+	// KV, when non-nil, switches the campaign to the application-level
+	// workload family: the bounded kvace space is enumerated instead of the
+	// ACE file-system space, each workload drives a kvstore on the mounted
+	// file system, and every crash state is recovered by the application
+	// and judged by the kvoracle expected-state oracle instead of the
+	// file-level oracle. All the campaign machinery — sampling, sharding,
+	// corpus resume, reorder and fault sweeps, pruning — applies unchanged.
+	KV *kvace.Bounds
 	// Workers sets the worker-pool size (0 = GOMAXPROCS).
 	Workers int
 	// MaxWorkloads stops generation after this many workloads (0 = all).
@@ -169,8 +179,12 @@ func (cfg *Config) configFingerprint() string {
 	if sample <= 0 {
 		sample = 1
 	}
+	space := cfg.Bounds.Fingerprint()
+	if cfg.KV != nil {
+		space = cfg.KV.Fingerprint()
+	}
 	fp := fmt.Sprintf("%s|sample=%d|final=%t|writechecks=%t|reorder=%d",
-		cfg.Bounds.Fingerprint(), sample, cfg.FinalOnly, !cfg.SkipWriteChecks,
+		space, sample, cfg.FinalOnly, !cfg.SkipWriteChecks,
 		max(cfg.Reorder, 0))
 	// Fault segments are appended only when the axis is enabled, so every
 	// pre-fault corpus shard keeps its exact key and stays resumable; when
@@ -178,6 +192,14 @@ func (cfg *Config) configFingerprint() string {
 	if cfg.Faults.Enabled() {
 		m := cfg.Faults.Canonical()
 		fp += fmt.Sprintf("|faults=%s|sector=%d", m, m.SectorSize)
+	}
+	// The workload-family segment is likewise appended only for the KV
+	// family, keeping every file-level corpus shard's key byte-identical to
+	// what older builds wrote. The kvace space hash alone would already
+	// separate the families; the explicit segment makes the corpus Meta
+	// self-describing and gives DiffMeta a knob to name.
+	if cfg.KV != nil {
+		fp += "|workload=kv"
 	}
 	return fp
 }
@@ -287,6 +309,16 @@ type Stats struct {
 	// order, mirroring the reorder counters per kind.
 	FaultSector int
 	FaultKinds  []FaultKindStats
+
+	// KVClasses tallies the application-oracle verdicts of a KV campaign
+	// (all zero for the file-level workload family): every crash state the
+	// application could recover on — checkpoint, reorder, and fault states
+	// combined — classified legal, lost-acknowledged-write,
+	// resurrected-delete, or unreplayable. FS-level broken states render no
+	// application verdict and are excluded (they stay in the Broken
+	// counters). The totals are deterministic per workload, so they are
+	// shard-stable and resume/merge exactly.
+	KVClasses kvoracle.Counts
 
 	// ReplayedWrites counts the recorded writes replayed to construct
 	// every crash state of the campaign (checkpoint sweeps plus reorder
@@ -427,6 +459,8 @@ type counters struct {
 	faultStates, faultChecked     [blockdev.NumFaultKinds]atomic.Int64
 	faultPruned, faultBroken      [blockdev.NumFaultKinds]atomic.Int64
 	faultClassSkip                [blockdev.NumFaultKinds]atomic.Int64
+	kvLegal, kvLostAck            atomic.Int64
+	kvResurrected, kvUnreplay     atomic.Int64
 	replayedWrites                atomic.Int64
 	profNS, replayNS, checkNS     atomic.Int64
 	dirtyTot, dirtyN, dirtyMax    atomic.Int64
@@ -466,6 +500,20 @@ func (cnt *counters) into(stats *Stats) {
 			stats.FaultKinds = append(stats.FaultKinds, fs)
 		}
 	}
+	stats.KVClasses = kvoracle.Counts{
+		Legal:        cnt.kvLegal.Load(),
+		LostAck:      cnt.kvLostAck.Load(),
+		Resurrected:  cnt.kvResurrected.Load(),
+		Unreplayable: cnt.kvUnreplay.Load(),
+	}
+}
+
+// addKV folds one sweep's class counts into the campaign counters.
+func (cnt *counters) addKV(c kvoracle.Counts) {
+	cnt.kvLegal.Add(c.Legal)
+	cnt.kvLostAck.Add(c.LostAck)
+	cnt.kvResurrected.Add(c.Resurrected)
+	cnt.kvUnreplay.Add(c.Unreplayable)
 }
 
 // testShardHook, when non-nil, observes every corpus shard a campaign
@@ -545,6 +593,14 @@ func foldRecord(rec *corpus.WorkloadRecord, fsName string, noPrune bool,
 	// Commute skips are cache-independent (the enumerator proves the states
 	// byte-identical), so they fold as skips even into a no-prune run.
 	cnt.reorderCommuteSkip.Add(int64(rec.RCommuteSkip))
+	if rec.KV != nil {
+		cnt.addKV(kvoracle.Counts{
+			Legal:        rec.KV.Legal,
+			LostAck:      rec.KV.LostAck,
+			Resurrected:  rec.KV.Resurrected,
+			Unreplayable: rec.KV.Unreplayable,
+		})
+	}
 	if noPrune {
 		// The shard may have been written with pruning on (prune mode is
 		// excluded from the config fingerprint on purpose). A no-prune run
@@ -665,44 +721,71 @@ func (r *fsRun) generate(jobs chan<- fsJob) error {
 		sample = 1
 	}
 	genStart := time.Now()
-	gen := ace.New(r.cfg.Bounds)
 	shard, nShards := int64(r.cfg.Shard), int64(r.cfg.numShards())
-	if sample == 1 {
-		// Unsampled: the ace-level partition filters during enumeration.
-		gen.Shard, gen.NumShards = r.cfg.Shard, r.cfg.numShards()
-	}
-	generated, genErr := gen.GenerateSeq(func(seq int64, w *workload.Workload) bool {
+	// decide applies the per-sequence campaign filters shared by both
+	// workload families: test=false skips the workload (sampled out, wrong
+	// shard, already folded from the corpus), stop=false halts enumeration.
+	decide := func(seq int64) (test, stop bool) {
 		if r.cfg.MaxWorkloads > 0 && seq > r.cfg.MaxWorkloads {
-			return false
+			return false, true
 		}
 		// A graceful interrupt stops feeding; in-flight jobs drain and are
 		// recorded, and finish() skips the completion marker.
 		if r.cfg.interrupted() {
-			return false
+			return false, true
 		}
 		// A failed corpus write fails the whole campaign; stop feeding it
 		// instead of testing for hours and then discarding the results.
 		if r.corpusFailed.Load() {
-			return false
+			return false, true
 		}
 		if seq%sample != 0 {
-			return true
+			return false, false
 		}
 		// Sampled + sharded: partition the sampled subsequence (workload
 		// sample·m → shard m mod n), not raw sequence numbers — raw
 		// residues starve when gcd(sample, n) > 1 (see Config.Shard).
 		if sample > 1 && nShards > 0 && (seq/sample)%nShards != shard {
-			return true
+			return false, false
 		}
 		if rec, ok := r.done[seq]; ok {
 			r.foldRecord(rec)
-			return true
+			return false, false
 		}
-		// Workloads are mutated downstream only via their own structures;
-		// each emitted workload is freshly built, so hand it off directly.
-		jobs <- fsJob{run: r, w: w, seq: seq}
-		return true
-	})
+		return true, false
+	}
+	var generated int64
+	var genErr error
+	if r.cfg.KV != nil {
+		gen := kvace.New(*r.cfg.KV)
+		if sample == 1 {
+			// Unsampled: the kvace-level partition filters during enumeration.
+			gen.Shard, gen.NumShards = r.cfg.Shard, r.cfg.numShards()
+		}
+		generated, genErr = gen.GenerateSeq(func(seq int64, w *kvace.Workload) bool {
+			test, stop := decide(seq)
+			if test {
+				jobs <- fsJob{run: r, kw: w, seq: seq}
+			}
+			return !stop
+		})
+	} else {
+		gen := ace.New(r.cfg.Bounds)
+		if sample == 1 {
+			// Unsampled: the ace-level partition filters during enumeration.
+			gen.Shard, gen.NumShards = r.cfg.Shard, r.cfg.numShards()
+		}
+		generated, genErr = gen.GenerateSeq(func(seq int64, w *workload.Workload) bool {
+			test, stop := decide(seq)
+			if test {
+				// Workloads are mutated downstream only via their own
+				// structures; each emitted workload is freshly built, so
+				// hand it off directly.
+				jobs <- fsJob{run: r, w: w, seq: seq}
+			}
+			return !stop
+		})
+	}
 	r.stats.Generated = generated
 	r.stats.GenDur = time.Since(genStart)
 	return genErr
@@ -787,10 +870,12 @@ func (r *fsRun) finish(start time.Time, interrupted bool) error {
 	return nil
 }
 
-// fsJob is one workload bound for one matrix row.
+// fsJob is one workload bound for one matrix row. Exactly one of w (the
+// ACE file-system family) and kw (the bounded KV application family) is set.
 type fsJob struct {
 	run *fsRun
 	w   *workload.Workload
+	kw  *kvace.Workload
 	seq int64
 }
 
@@ -950,7 +1035,11 @@ func RunMatrix(cfg Config, fss []filesys.FileSystem) (*Matrix, error) {
 					}
 					monkeys[j.run] = mk
 				}
-				j.run.runWorkload(mk, j.w, j.seq)
+				if j.kw != nil {
+					j.run.runKVWorkload(mk, j.kw, j.seq)
+				} else {
+					j.run.runWorkload(mk, j.w, j.seq)
+				}
 			}
 		}()
 	}
@@ -1155,6 +1244,176 @@ func (r *fsRun) runWorkload(mk *crashmonkey.Monkey, w *workload.Workload, seq in
 	record(rec)
 }
 
+// runKVWorkload is runWorkload's application-family counterpart: it drives
+// the KV store over the mounted backend, crash-tests every persistence
+// point through the expected-state oracle, and (when configured) sweeps the
+// reorder and fault axes. Oracle class verdicts fold into the KV counters;
+// violations become report groups exactly like file-level findings. The
+// class totals are a deterministic function of the workload (verdicts never
+// depend on prune-cache state), so they are recorded to the corpus and
+// resume/merge fold the identical counts.
+func (r *fsRun) runKVWorkload(mk *crashmonkey.Monkey, w *kvace.Workload, seq int64) {
+	cnt, emit, record := &r.cnt, r.emit, r.appendRecord
+	finalOnly := r.cfg.FinalOnly
+
+	rec := &corpus.WorkloadRecord{Seq: seq, ID: w.ID, Verdict: corpus.VerdictClean}
+	kp, err := mk.ProfileKV(w)
+	if err != nil {
+		cnt.errs.Add(1)
+		rec.Verdict = corpus.VerdictError
+		rec.Errored = true
+		record(rec)
+		return
+	}
+	defer kp.Release()
+	last := kp.Checkpoints()
+	if last == 0 {
+		record(rec)
+		return
+	}
+	cnt.profNS.Add(int64(kp.ProfileDur))
+	cnt.dirtyTot.Add(kp.DirtyBytes)
+	cnt.dirtyN.Add(1)
+	for {
+		cur := cnt.dirtyMax.Load()
+		if kp.DirtyBytes <= cur || cnt.dirtyMax.CompareAndSwap(cur, kp.DirtyBytes) {
+			break
+		}
+	}
+
+	var classes kvoracle.Counts
+
+	first := 1
+	if finalOnly {
+		first = last
+	}
+	for cp := first; cp <= last; cp++ {
+		res, err := mk.TestKVCheckpoint(kp, cp)
+		if err != nil {
+			cnt.errs.Add(1)
+			rec.Errored = true
+			break
+		}
+		rec.States++
+		cnt.statesTotal.Add(1)
+		if res.Pruned {
+			rec.Pruned++
+			cnt.statesPruned.Add(1)
+			if res.PrunedBy == "disk" {
+				cnt.prunedDisk.Add(1)
+			} else {
+				cnt.prunedTree.Add(1)
+			}
+		} else {
+			rec.Checked++
+			cnt.statesChecked.Add(1)
+		}
+		rec.Replayed += res.ReplayedWrites
+		cnt.replayedWrites.Add(res.ReplayedWrites)
+		cnt.replayNS.Add(int64(res.ReplayDur))
+		cnt.checkNS.Add(int64(res.CheckDur))
+		// FS-broken states render no application verdict (the lower layer
+		// already broke its contract; that surfaces as an Unmountable
+		// finding below, never as a KV class).
+		if res.Mountable || res.FsckRepaired {
+			classes.Add(res.Class)
+		}
+		if res.Buggy() {
+			rec.Verdict = corpus.VerdictBuggy
+			rep := &report.Report{
+				FSName:      r.cfg.FS.Name(),
+				WorkloadID:  w.ID,
+				Skeleton:    w.Skeleton(),
+				Consequence: res.Primary().Consequence,
+				Findings:    res.Findings,
+				Workload:    w.String(),
+			}
+			emit(rep)
+			cr := corpus.ReportRecord{
+				Checkpoint: cp,
+				Primary:    uint8(res.Primary().Consequence),
+				Skeleton:   rep.Skeleton,
+			}
+			for _, f := range res.Findings {
+				cr.Findings = append(cr.Findings, corpus.Finding{
+					Consequence: uint8(f.Consequence),
+					Path:        f.Path,
+					Detail:      f.Detail,
+				})
+			}
+			rec.Reports = append(rec.Reports, cr)
+		}
+	}
+	// The sweeps ride the same profile, gated like the file-level ones so
+	// the recorded totals stay a deterministic function of the workload.
+	// KV sweeps do no enumeration-time pruning (the oracle expectation
+	// varies per epoch), so RClassSkip and RCommuteSkip stay zero.
+	if r.cfg.Reorder > 0 && !rec.Errored {
+		rr, err := mk.ExploreKVReorder(kp, r.cfg.Reorder)
+		if err != nil {
+			cnt.errs.Add(1)
+			rec.Errored = true
+		} else {
+			rec.RStates = rr.States
+			rec.RChecked = rr.Checked
+			rec.RPruned = rr.Pruned
+			rec.RBroken = len(rr.Broken)
+			rec.Replayed += rr.ReplayedWrites
+			cnt.reorderStates.Add(int64(rr.States))
+			cnt.reorderChecked.Add(int64(rr.Checked))
+			cnt.reorderPruned.Add(int64(rr.Pruned))
+			cnt.reorderBroken.Add(int64(len(rr.Broken)))
+			cnt.replayedWrites.Add(rr.ReplayedWrites)
+			classes.Merge(rr.Classes)
+		}
+	}
+	if r.cfg.Faults.Enabled() && !rec.Errored {
+		fr, err := mk.ExploreKVFaults(kp, r.cfg.Faults)
+		if err != nil {
+			cnt.errs.Add(1)
+			rec.Errored = true
+		} else {
+			for _, kr := range fr.Kinds {
+				rec.Faults = append(rec.Faults, corpus.FaultKindCounts{
+					Kind:    kr.Kind.String(),
+					States:  kr.States,
+					Checked: kr.Checked,
+					Pruned:  kr.Pruned,
+					Broken:  len(kr.Broken),
+				})
+				k := int(kr.Kind)
+				cnt.faultStates[k].Add(int64(kr.States))
+				cnt.faultChecked[k].Add(int64(kr.Checked))
+				cnt.faultPruned[k].Add(int64(kr.Pruned))
+				cnt.faultBroken[k].Add(int64(len(kr.Broken)))
+				rec.Replayed += kr.ReplayedWrites
+				cnt.replayedWrites.Add(kr.ReplayedWrites)
+				classes.Merge(kr.Classes)
+			}
+		}
+	}
+	cnt.addKV(classes)
+	if classes.Total() > 0 {
+		rec.KV = &corpus.KVCounts{
+			Legal:        classes.Legal,
+			LostAck:      classes.LostAck,
+			Resurrected:  classes.Resurrected,
+			Unreplayable: classes.Unreplayable,
+		}
+	}
+	if rec.Verdict == corpus.VerdictBuggy {
+		cnt.failed.Add(1)
+		rec.Skeleton = w.Skeleton()
+		rec.Workload = w.String()
+	} else if rec.Errored {
+		rec.Verdict = corpus.VerdictError
+	}
+	if !rec.Errored {
+		cnt.tested.Add(1)
+	}
+	record(rec)
+}
+
 // headline renders the first Summary line: the shard-stable campaign
 // counters. MergeStats reuses it verbatim, which is what makes a merged
 // summary byte-identical to the unsharded run's on this line.
@@ -1221,6 +1480,11 @@ func (s *Stats) Summary() string {
 			}
 		}
 	}
+	if s.KVClasses.Total() > 0 {
+		fmt.Fprintf(&sb, "\nkv oracle: %d states classified: %d legal, %d lost-ack, %d resurrected, %d unreplayable",
+			s.KVClasses.Total(), s.KVClasses.Legal, s.KVClasses.LostAck,
+			s.KVClasses.Resurrected, s.KVClasses.Unreplayable)
+	}
 	if s.Resumed > 0 {
 		fmt.Fprintf(&sb, "\nresumed: %d workloads folded in from %s", s.Resumed, s.CorpusPath)
 	}
@@ -1265,7 +1529,7 @@ func (m *Matrix) ByFS(name string) *Stats {
 func (m *Matrix) Table() string {
 	t := report.NewTable("file system", "generated", "tested", "failing",
 		"groups", "new", "states", "pruned", "evicted", "rw/state", "reorder", "r-skip", "r-broken",
-		"torn", "corrupt", "misdir")
+		"torn", "corrupt", "misdir", "kv")
 	for _, s := range m.PerFS {
 		t.AddRow(
 			s.FSName,
@@ -1284,9 +1548,19 @@ func (m *Matrix) Table() string {
 			s.faultCell(blockdev.FaultTorn.String()),
 			s.faultCell(blockdev.FaultCorrupt.String()),
 			s.faultCell(blockdev.FaultMisdirect.String()),
+			s.kvCell(),
 		)
 	}
 	return t.Render()
+}
+
+// kvCell renders the KV-oracle column: classified/violations for an
+// application-workload campaign, "-" for a file-level one.
+func (s *Stats) kvCell() string {
+	if s.KVClasses.Total() == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d/%d", s.KVClasses.Total(), s.KVClasses.Violations())
 }
 
 // Summary renders the cross-FS table followed by each file system's fresh

@@ -14,6 +14,7 @@ import (
 	"b3/internal/corpus"
 	"b3/internal/filesys"
 	"b3/internal/fsmake"
+	"b3/internal/kvace"
 	"b3/internal/report"
 	"b3/internal/workload"
 )
@@ -1058,6 +1059,13 @@ func shardedMergeVsUnsharded(t *testing.T, cfg Config, fss []filesys.FileSystem,
 					want.FSName, gf.Kind, gf.Checked, gf.Pruned, gf.ClassSkipped, gf.States)
 			}
 		}
+		// KV oracle class totals are shard-stable: verdicts are a
+		// deterministic function of the crash state and the interval
+		// expectation, never of prune-cache contents.
+		if got.KVClasses != want.KVClasses {
+			t.Fatalf("%s: merged kv classes diverged: %+v vs %+v",
+				want.FSName, got.KVClasses, want.KVClasses)
+		}
 		assertSameGroups(t, got, want)
 		// The merged summary's headline is byte-identical to the unsharded
 		// run's: same counters through the same formatter.
@@ -1621,4 +1629,128 @@ func TestFaultShardUnionMatchesUnsharded(t *testing.T) {
 	if !strings.Contains(merged.Summary(), "torn") {
 		t.Fatalf("merged summary misses the fault columns:\n%s", merged.Summary())
 	}
+}
+
+// kvBounds resolves a KV profile for the campaign tests.
+func kvBounds(t *testing.T, name string) *kvace.Bounds {
+	t.Helper()
+	b, err := kvace.Profile(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &b
+}
+
+// TestKVShardUnionMatchesUnsharded extends the sharded-campaign acceptance
+// gate to the application workload family: the residue-class partition of
+// the kvace space plus the merge layer must reconstruct the unsharded KV
+// campaign exactly — totals, bug groups, reorder counters, and the
+// shard-stable oracle class tallies (asserted inside the helper).
+func TestKVShardUnionMatchesUnsharded(t *testing.T) {
+	names := []string{"diskfmt", "fscqsim"}
+	var fss []filesys.FileSystem
+	for _, name := range names {
+		fs, err := fsmake.NewBugsOnly(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fss = append(fss, fs)
+	}
+	cfg := Config{KV: kvBounds(t, "kv-seq1"), Reorder: 1}
+	merged := shardedMergeVsUnsharded(t, cfg, fss, 2)
+
+	// The buggy fscqsim row must carry the lost-acknowledged-write groups;
+	// the reference diskfmt row must classify everything legal.
+	buggy := merged.ByFS("fscqsim")
+	if buggy == nil || buggy.Stats.Failed == 0 || buggy.Stats.KVClasses.LostAck == 0 {
+		t.Fatalf("merged fscqsim row lost the KV violations: %+v", buggy)
+	}
+	clean := merged.ByFS("diskfmt")
+	if clean == nil || clean.Stats.KVClasses.Total() == 0 || clean.Stats.KVClasses.Violations() != 0 {
+		t.Fatalf("merged diskfmt row misclassified: %+v", clean.Stats.KVClasses)
+	}
+	if !strings.Contains(merged.Summary(), "kv oracle:") {
+		t.Fatalf("merged summary misses the kv oracle line:\n%s", merged.Summary())
+	}
+
+	// Sampled + sharded on the deeper space: the partition over the
+	// sampled subsequence composes with the KV enumeration as it does for
+	// ACE (gcd(sample, shards) = 2 exercises the starvation guard).
+	fs, err := fsmake.NewBugsOnly("logfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := Config{KV: kvBounds(t, "kv-seq2"), SampleEvery: 4}
+	shardedMergeVsUnsharded(t, sampled, []filesys.FileSystem{fs}, 2)
+}
+
+// TestKVResumeMatchesUninterrupted: a killed KV campaign resumes from its
+// corpus shard to totals — oracle class tallies included — identical to an
+// uninterrupted run, and a finished campaign re-tests nothing.
+func TestKVResumeMatchesUninterrupted(t *testing.T) {
+	fs, err := fsmake.NewBugsOnly("fscqsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{
+		FS:      fs,
+		KV:      kvBounds(t, "kv-seq2"),
+		Reorder: 1,
+	}
+	uninterrupted, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uninterrupted.KVClasses.Total() == 0 {
+		t.Fatal("KV campaign classified no states — a vacuous baseline")
+	}
+
+	dir := t.TempDir()
+	partial := base
+	partial.CorpusDir = dir
+	partial.MaxWorkloads = 150
+	partial.CheckpointEvery = 16
+	if _, err := Run(partial); err != nil {
+		t.Fatal(err)
+	}
+
+	resume := base
+	resume.CorpusDir = dir
+	resume.Resume = true
+	resumed, err := Run(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Resumed == 0 {
+		t.Fatal("resume folded in no recorded workloads")
+	}
+	if resumed.Generated != uninterrupted.Generated ||
+		resumed.Tested != uninterrupted.Tested ||
+		resumed.Failed != uninterrupted.Failed ||
+		resumed.Errors != uninterrupted.Errors ||
+		resumed.StatesTotal != uninterrupted.StatesTotal ||
+		resumed.ReorderStates != uninterrupted.ReorderStates {
+		t.Fatalf("resumed totals diverged:\nresumed: %+v\nbaseline: %+v", resumed, uninterrupted)
+	}
+	if resumed.KVClasses != uninterrupted.KVClasses {
+		t.Fatalf("resumed kv classes diverged: %+v vs %+v",
+			resumed.KVClasses, uninterrupted.KVClasses)
+	}
+	assertSameGroups(t, resumed, uninterrupted)
+
+	// A second resume of the finished campaign re-tests nothing and still
+	// reconstructs the class tallies purely from the corpus records.
+	again, err := Run(resume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Resumed != again.Tested+again.Errors {
+		t.Fatalf("finished KV campaign re-tested workloads: resumed=%d tested=%d errors=%d",
+			again.Resumed, again.Tested, again.Errors)
+	}
+	if again.KVClasses != uninterrupted.KVClasses {
+		t.Fatalf("replayed kv classes diverged: %+v vs %+v",
+			again.KVClasses, uninterrupted.KVClasses)
+	}
+	assertSameGroups(t, again, uninterrupted)
 }

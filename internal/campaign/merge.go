@@ -339,6 +339,11 @@ func (r *MergeRow) Summary() string {
 		}
 		sb.WriteByte('\n')
 	}
+	if s.KVClasses.Total() > 0 {
+		fmt.Fprintf(&sb, "kv oracle: %d states classified: %d legal, %d lost-ack, %d resurrected, %d unreplayable\n",
+			s.KVClasses.Total(), s.KVClasses.Legal, s.KVClasses.LostAck,
+			s.KVClasses.Resurrected, s.KVClasses.Unreplayable)
+	}
 	for _, g := range s.FreshGroups {
 		sb.WriteByte('\n')
 		sb.WriteString(g.Render())
@@ -350,7 +355,7 @@ func (r *MergeRow) Summary() string {
 func (m *Merge) Table() string {
 	t := report.NewTable("file system", "profile", "shards", "generated", "tested",
 		"failing", "groups", "new", "states", "reorder", "r-broken",
-		"torn", "corrupt", "misdir", "replayed")
+		"torn", "corrupt", "misdir", "kv", "replayed")
 	for _, r := range m.Rows {
 		s := r.Stats
 		t.AddRow(
@@ -368,6 +373,7 @@ func (m *Merge) Table() string {
 			s.faultCell(blockdev.FaultTorn.String()),
 			s.faultCell(blockdev.FaultCorrupt.String()),
 			s.faultCell(blockdev.FaultMisdirect.String()),
+			s.kvCell(),
 			fmt.Sprintf("%d", s.ReplayedWrites),
 		)
 	}

@@ -32,10 +32,17 @@ type Tier struct {
 //     enough that every backend and the reorder axis stay exercised.
 //   - nightly: the unsampled seq-3-metadata sweep across every backend —
 //     the PR 7 tractability target, sized for a scheduled run.
+//   - kv-quick: the application-workload smoke — the kv-seq1 space across
+//     every backend with bounded reordering k=1, every crash state judged
+//     by the expected-state oracle.
+//   - kv-nightly: the full kv-seq2 space across every backend with the
+//     reorder and torn/corrupt fault axes.
 func Tiers() []Tier {
 	return []Tier{
 		{Name: "quick", Profile: ace.ProfileSeq1, FS: []string{"all"}, Reorder: 1},
 		{Name: "nightly", Profile: ace.ProfileSeq3Metadata, FS: []string{"all"}},
+		{Name: "kv-quick", Profile: "kv-seq1", FS: []string{"all"}, Reorder: 1},
+		{Name: "kv-nightly", Profile: "kv-seq2", FS: []string{"all"}, Reorder: 1, Faults: "torn,corrupt"},
 	}
 }
 

@@ -261,6 +261,10 @@ type WorkloadRecord struct {
 	// when the campaign ran with no FaultModel). Additive field: shards
 	// written before it load with no entries.
 	Faults []FaultKindCounts `json:"faults,omitempty"`
+	// KV holds the application-oracle classification totals of a KV
+	// workload's crash states (nil, and omitted, for file-level
+	// workloads). Additive field: shards written before it load with nil.
+	KV *KVCounts `json:"kv,omitempty"`
 	// Skeleton and Workload carry what report grouping needs; recorded
 	// only for buggy workloads to keep shards small.
 	Skeleton string         `json:"skeleton,omitempty"`
@@ -284,6 +288,19 @@ type FaultKindCounts struct {
 	// zero (their class hits are inside Pruned/Checked instead).
 	ClassSkip int `json:"classskip,omitempty"`
 	Broken    int `json:"broken,omitempty"`
+}
+
+// KVCounts is one KV workload's application-oracle classification: every
+// crash state the application could recover on (checkpoint, reorder, and
+// fault sweeps combined) counted by verdict class. FS-level broken states
+// render no application verdict and are excluded. The totals are a
+// deterministic function of the workload — verdicts never depend on prune
+// caches — so they are shard-stable and merge exactly.
+type KVCounts struct {
+	Legal        int64 `json:"legal,omitempty"`
+	LostAck      int64 `json:"lostack,omitempty"`
+	Resurrected  int64 `json:"resurrected,omitempty"`
+	Unreplayable int64 `json:"unreplayable,omitempty"`
 }
 
 // DoneRecord marks a campaign (shard) that ran its generation and testing

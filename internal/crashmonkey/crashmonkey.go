@@ -234,6 +234,7 @@ var severityOrder = []bugs.Consequence{
 	bugs.ResurrectedEntry, bugs.DataLoss, bugs.DirEntryMissing,
 	bugs.WrongLocation, bugs.CannotCreateFiles, bugs.UnremovableDir,
 	bugs.FileMissing, bugs.FileInBothLocations, bugs.RenameBothLost,
+	bugs.KVResurrectedDelete, bugs.KVLostAckWrite, bugs.KVUnreplayable,
 	bugs.Unmountable,
 }
 

@@ -30,6 +30,7 @@ import (
 	"b3/internal/campaign"
 	"b3/internal/filesys"
 	"b3/internal/fsmake"
+	"b3/internal/kvace"
 )
 
 // Class is one residue class of the sampled workload index space: the
@@ -56,7 +57,8 @@ func (c Class) String() string { return fmt.Sprintf("%d/%d", c.R, c.N) }
 // a ledger under a different spec fails loudly instead of silently mixing
 // two campaigns in one corpus directory.
 type Spec struct {
-	// Profile names the ACE workload profile (ace.Profiles).
+	// Profile names the workload profile: an ACE file-space profile
+	// (ace.Profiles) or a "kv-" application-workload profile (kvace).
 	Profile string `json:"profile"`
 	// FS lists backend names; the single entry "all" means every backend.
 	FS []string `json:"fs"`
@@ -96,7 +98,11 @@ func TierSpec(tierName, corpusDir string, numShards int) (Spec, error) {
 // Validate resolves and checks every knob a worker will trust, so a bad
 // spec fails at coordinator start instead of inside every worker.
 func (s Spec) Validate() error {
-	if _, err := ace.Profile(ace.ProfileName(s.Profile)); err != nil {
+	if kvace.IsProfile(s.Profile) {
+		if _, err := kvace.Profile(s.Profile); err != nil {
+			return fmt.Errorf("fleet: spec: %w", err)
+		}
+	} else if _, err := ace.Profile(ace.ProfileName(s.Profile)); err != nil {
 		return fmt.Errorf("fleet: spec: %w", err)
 	}
 	if _, err := s.filesystems(); err != nil {
@@ -151,9 +157,20 @@ func (s Spec) faultModel() (blockdev.FaultModel, error) {
 // campaign so a single-class fleet produces a corpus mergeable (and
 // byte-comparable) with a plain run.
 func (s Spec) config(c Class) (campaign.Config, []filesys.FileSystem, error) {
-	bounds, err := ace.Profile(ace.ProfileName(s.Profile))
-	if err != nil {
-		return campaign.Config{}, nil, fmt.Errorf("fleet: spec: %w", err)
+	var bounds ace.Bounds
+	var kv *kvace.Bounds
+	if kvace.IsProfile(s.Profile) {
+		kb, err := kvace.Profile(s.Profile)
+		if err != nil {
+			return campaign.Config{}, nil, fmt.Errorf("fleet: spec: %w", err)
+		}
+		kv = &kb
+	} else {
+		var err error
+		bounds, err = ace.Profile(ace.ProfileName(s.Profile))
+		if err != nil {
+			return campaign.Config{}, nil, fmt.Errorf("fleet: spec: %w", err)
+		}
 	}
 	fss, err := s.filesystems()
 	if err != nil {
@@ -165,6 +182,7 @@ func (s Spec) config(c Class) (campaign.Config, []filesys.FileSystem, error) {
 	}
 	cfg := campaign.Config{
 		Bounds:       bounds,
+		KV:           kv,
 		SampleEvery:  s.SampleEvery,
 		Reorder:      s.Reorder,
 		Faults:       faults,

@@ -1,0 +1,290 @@
+// Package kvace enumerates the bounded application-level workload space for
+// the KV crash campaign: sequences of put/delete mutations interleaved with
+// sync/flush/reopen persistence points, mirroring ace's bounded systematic
+// generation (§4.2) one layer up the stack. Workloads carry global 1-based
+// sequence numbers, so the campaign's residue-class sharding, sampling, and
+// corpus identity apply to the KV family verbatim.
+package kvace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// OpKind is one KV workload operation.
+type OpKind uint8
+
+const (
+	// OpPut stores a key/value pair (acknowledged, not yet durable).
+	OpPut OpKind = iota
+	// OpDelete tombstones a key.
+	OpDelete
+	// OpSync makes every acknowledged update durable (WAL fdatasync).
+	OpSync
+	// OpFlush folds the memtable into a table file and swaps CURRENT.
+	OpFlush
+	// OpReopen closes the store (sync) and recovers it from disk.
+	OpReopen
+	// NumOpKinds is the sentinel bounding the enum; not an op kind.
+	NumOpKinds
+)
+
+// String returns the op-kind mnemonic.
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "del"
+	case OpSync:
+		return "sync"
+	case OpFlush:
+		return "flush"
+	case OpReopen:
+		return "reopen"
+	case NumOpKinds:
+		return "sentinel"
+	}
+	return "unknown"
+}
+
+// IsPersistence reports whether the op is a durability point: every
+// acknowledged update before it must survive a crash after it. The switch
+// is total over OpKind (sentinel included) for the exhaustenum analyzer.
+func (k OpKind) IsPersistence() bool {
+	switch k {
+	case OpSync, OpFlush, OpReopen:
+		return true
+	case OpPut, OpDelete, NumOpKinds:
+		return false
+	}
+	return false
+}
+
+// IsMutation reports whether the op changes the logical KV contents.
+func (k OpKind) IsMutation() bool {
+	switch k {
+	case OpPut, OpDelete:
+		return true
+	case OpSync, OpFlush, OpReopen, NumOpKinds:
+		return false
+	}
+	return false
+}
+
+// Op is one operation of a KV workload.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Value string
+}
+
+// String renders the op.
+func (op Op) String() string {
+	switch op.Kind {
+	case OpPut:
+		return fmt.Sprintf("put %s=%s", op.Key, op.Value)
+	case OpDelete:
+		return fmt.Sprintf("del %s", op.Key)
+	case OpSync, OpFlush, OpReopen, NumOpKinds:
+		return op.Kind.String()
+	}
+	return op.Kind.String()
+}
+
+// Workload is one generated KV workload.
+type Workload struct {
+	// ID is "kv-<seq>", stable across shards and processes.
+	ID  string
+	Ops []Op
+}
+
+// Skeleton is the op-kind shape reports group by (the KV analogue of the
+// ace workload skeleton).
+func (w *Workload) Skeleton() string {
+	kinds := make([]string, len(w.Ops))
+	for i, op := range w.Ops {
+		kinds[i] = op.Kind.String()
+	}
+	return strings.Join(kinds, ";")
+}
+
+// String renders the workload one op per line.
+func (w *Workload) String() string {
+	var sb strings.Builder
+	for i, op := range w.Ops {
+		fmt.Fprintf(&sb, "%d. %s\n", i+1, op)
+	}
+	return sb.String()
+}
+
+// Checkpoints reports the number of persistence points the workload holds.
+func (w *Workload) Checkpoints() int {
+	n := 0
+	for _, op := range w.Ops {
+		if op.Kind.IsPersistence() {
+			n++
+		}
+	}
+	return n
+}
+
+// GenFormat versions the KV enumeration; bump it when the workload space
+// changes shape so corpus fingerprints separate old and new spaces.
+const GenFormat = 1
+
+// Bounds parameterises the KV workload space: SeqLen mutation slots, each
+// choosing among Keys keys and Vals value variants for puts, followed by a
+// persistence choice (none/sync/flush/reopen; the final slot always
+// persists, so every workload has at least one checkpoint).
+type Bounds struct {
+	SeqLen int
+	Keys   int
+	Vals   int
+}
+
+// Fingerprint identifies the bounded space for corpus compatibility.
+func (b Bounds) Fingerprint() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "kvgen%d|%#v", GenFormat, b)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Validate rejects degenerate bounds.
+func (b Bounds) Validate() error {
+	if b.SeqLen < 1 || b.Keys < 1 || b.Vals < 1 {
+		return fmt.Errorf("kvace: bounds need SeqLen/Keys/Vals >= 1, have %+v", b)
+	}
+	return nil
+}
+
+// IsProfile reports whether name selects a KV workload profile ("kv-…") —
+// the dispatch predicate the facade, fleet, and CLI use to route a profile
+// name to this family instead of ace.
+func IsProfile(name string) bool { return strings.HasPrefix(name, "kv-") }
+
+// Profile resolves a named KV workload space.
+func Profile(name string) (Bounds, error) {
+	switch name {
+	case "kv-seq1":
+		return Bounds{SeqLen: 1, Keys: 2, Vals: 2}, nil
+	case "kv-seq2":
+		return Bounds{SeqLen: 2, Keys: 2, Vals: 2}, nil
+	case "kv-seq3":
+		return Bounds{SeqLen: 3, Keys: 2, Vals: 2}, nil
+	}
+	return Bounds{}, fmt.Errorf("kvace: unknown KV profile %q (have kv-seq1, kv-seq2, kv-seq3)", name)
+}
+
+// Generator enumerates the bounded KV workload space. The Shard/NumShards
+// residue-class contract matches ace.Generator exactly: the full space is
+// always enumerated and counted, out-of-class workloads are not streamed,
+// and every workload keeps its unsharded sequence number and ID.
+type Generator struct {
+	Bounds   Bounds
+	IDPrefix string
+
+	Shard     int
+	NumShards int
+}
+
+// New returns a generator over the given bounds.
+func New(b Bounds) *Generator { return &Generator{Bounds: b, IDPrefix: "kv"} }
+
+// persistKinds are the per-slot persistence choices; the final slot skips
+// the leading none so every workload ends on a durability point.
+var persistKinds = []OpKind{NumOpKinds /* none */, OpSync, OpFlush, OpReopen}
+
+// GenerateSeq streams every workload in the bounded space (restricted to
+// the generator's shard residue class, if any) with its global 1-based
+// sequence number, in a deterministic order. fn returning false stops
+// generation early. The returned count is the full-space count.
+func (g *Generator) GenerateSeq(fn func(seq int64, w *Workload) bool) (int64, error) {
+	if err := g.Bounds.Validate(); err != nil {
+		return 0, err
+	}
+	if g.NumShards > 1 && (g.Shard < 0 || g.Shard >= g.NumShards) {
+		return 0, fmt.Errorf("kvace: shard %d outside residue range 0..%d", g.Shard, g.NumShards-1)
+	}
+	if g.NumShards < 0 {
+		return 0, fmt.Errorf("kvace: negative shard count %d", g.NumShards)
+	}
+
+	// Mutation choices, shared across slots; values embed the slot index so
+	// every put writes a distinct value and staleness is observable.
+	type mutation struct {
+		kind OpKind
+		key  int
+		val  int
+	}
+	var muts []mutation
+	for k := 0; k < g.Bounds.Keys; k++ {
+		for v := 0; v < g.Bounds.Vals; v++ {
+			muts = append(muts, mutation{kind: OpPut, key: k, val: v})
+		}
+	}
+	for k := 0; k < g.Bounds.Keys; k++ {
+		muts = append(muts, mutation{kind: OpDelete, key: k})
+	}
+
+	var emitted int64
+	stop := false
+	slots := make([]struct {
+		mut     mutation
+		persist OpKind
+	}, g.Bounds.SeqLen)
+
+	emit := func() {
+		emitted++
+		if g.NumShards > 1 && emitted%int64(g.NumShards) != int64(g.Shard) {
+			return
+		}
+		w := &Workload{ID: fmt.Sprintf("%s-%d", g.IDPrefix, emitted)}
+		for i, slot := range slots {
+			op := Op{Kind: slot.mut.kind, Key: fmt.Sprintf("k%d", slot.mut.key)}
+			if slot.mut.kind == OpPut {
+				op.Value = fmt.Sprintf("v%d.%d", slot.mut.val, i)
+			}
+			w.Ops = append(w.Ops, op)
+			if slot.persist != NumOpKinds {
+				w.Ops = append(w.Ops, Op{Kind: slot.persist})
+			}
+		}
+		if !fn(emitted, w) {
+			stop = true
+		}
+	}
+
+	var rec func(pos int)
+	rec = func(pos int) {
+		if stop {
+			return
+		}
+		if pos == len(slots) {
+			emit()
+			return
+		}
+		persists := persistKinds
+		if pos == len(slots)-1 {
+			persists = persistKinds[1:] // final slot always persists
+		}
+		for _, m := range muts {
+			slots[pos].mut = m
+			for _, p := range persists {
+				slots[pos].persist = p
+				rec(pos + 1)
+				if stop {
+					return
+				}
+			}
+		}
+	}
+	rec(0)
+	return emitted, nil
+}
+
+// Count runs generation without retaining workloads.
+func (g *Generator) Count() (int64, error) {
+	return g.GenerateSeq(func(int64, *Workload) bool { return true })
+}

@@ -1,0 +1,133 @@
+package kvace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestProfileSpaces(t *testing.T) {
+	cases := map[string]int64{
+		// SeqLen 1: (2 keys × 2 vals + 2 deletes) mutations × 3 final
+		// persistence choices.
+		"kv-seq1": 18,
+		// SeqLen 2: 6 × 4 (none/sync/flush/reopen) × 6 × 3.
+		"kv-seq2": 432,
+	}
+	for name, want := range cases {
+		b, err := Profile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := New(b).Count()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: %d workloads, want %d", name, got, want)
+		}
+	}
+	if _, err := Profile("kv-bogus"); err == nil {
+		t.Error("unknown profile resolved")
+	}
+	if !IsProfile("kv-seq1") || IsProfile("seq1") {
+		t.Error("IsProfile dispatch drifted")
+	}
+}
+
+func TestEveryWorkloadEndsOnPersistence(t *testing.T) {
+	b, _ := Profile("kv-seq2")
+	_, err := New(b).GenerateSeq(func(seq int64, w *Workload) bool {
+		if len(w.Ops) == 0 || !w.Ops[len(w.Ops)-1].Kind.IsPersistence() {
+			t.Fatalf("%s does not end on a persistence point: %v", w.ID, w.Ops)
+		}
+		if w.Checkpoints() < 1 {
+			t.Fatalf("%s has no checkpoint", w.ID)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	b, _ := Profile("kv-seq1")
+	collect := func() []*Workload {
+		var out []*Workload
+		if _, err := New(b).GenerateSeq(func(_ int64, w *Workload) bool {
+			out = append(out, w)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, c := collect(), collect()
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("two runs enumerated different workloads")
+	}
+}
+
+func TestShardsPartitionTheSpace(t *testing.T) {
+	b, _ := Profile("kv-seq2")
+	full := map[int64]string{}
+	fullCount, err := New(b).GenerateSeq(func(seq int64, w *Workload) bool {
+		full[seq] = w.ID + "|" + w.Skeleton()
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	union := map[int64]string{}
+	for s := 0; s < shards; s++ {
+		g := New(b)
+		g.Shard, g.NumShards = s, shards
+		count, err := g.GenerateSeq(func(seq int64, w *Workload) bool {
+			if seq%shards != int64(s) {
+				t.Fatalf("shard %d streamed residue %d (seq %d)", s, seq%shards, seq)
+			}
+			if _, dup := union[seq]; dup {
+				t.Fatalf("seq %d streamed by two shards", seq)
+			}
+			union[seq] = w.ID + "|" + w.Skeleton()
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count != fullCount {
+			t.Fatalf("shard %d reported full-space count %d, want %d", s, count, fullCount)
+		}
+	}
+	if !reflect.DeepEqual(union, full) {
+		t.Fatalf("shard union holds %d workloads, full space %d", len(union), len(full))
+	}
+}
+
+func TestValuesDistinguishSlots(t *testing.T) {
+	// Every put value embeds its slot index, so a stale value is always
+	// distinguishable from a legal earlier one — the staleness-detection
+	// property the oracle's per-key legal sets rely on.
+	b := Bounds{SeqLen: 2, Keys: 1, Vals: 1}
+	_, err := New(b).GenerateSeq(func(_ int64, w *Workload) bool {
+		seen := map[string]int{}
+		slot := 0
+		for _, op := range w.Ops {
+			if op.Kind == OpPut {
+				if prev, dup := seen[op.Value]; dup && prev != slot {
+					t.Fatalf("%s reuses value %q across slots", w.ID, op.Value)
+				}
+				seen[op.Value] = slot
+			}
+			if op.Kind.IsMutation() {
+				slot++
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

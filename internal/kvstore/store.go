@@ -1,0 +1,328 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"b3/internal/filesys"
+)
+
+// Store is the live handle to one KV store on a mounted file system.
+//
+// Durability contract (what the kvoracle expectation model is built on):
+// Put/Delete are acknowledged once appended to the WAL file's page cache —
+// they become durable at the next Sync (fdatasync of the WAL), Flush
+// (table rewrite + CURRENT swap), or Close. Recovery loads CURRENT →
+// manifest → table and replays the WAL tail, so on a correct file system a
+// crash recovers the acknowledged state plus some prefix of the
+// unacknowledged tail — never less.
+type Store struct {
+	fs      filesys.MountedFS
+	dir     string
+	man     Manifest
+	manFile uint64
+	tab     map[string]string
+	mem     map[string]memEntry
+	walPath string
+	walLen  int64
+	seq     uint64
+	// fresh marks a store recovered from a missing CURRENT: structurally
+	// empty, used only to report recovered contents (writes are refused).
+	fresh bool
+}
+
+// memEntry is one unflushed update: a value or a tombstone.
+type memEntry struct {
+	val string
+	del bool
+}
+
+// ErrUnreplayable reports a store whose durable structure cannot be
+// recovered: CURRENT names garbage, the manifest fails its checksum, or
+// the table file it points at is missing or damaged.
+var ErrUnreplayable = errors.New("kvstore: unreplayable store")
+
+func currentPath(dir string) string    { return dir + "/CURRENT" }
+func manifestName(n uint64) string     { return fmt.Sprintf("MANIFEST-%06d", n) }
+func walName(n uint64) string          { return fmt.Sprintf("%06d.log", n) }
+func tableName(n uint64) string        { return fmt.Sprintf("%06d.tab", n) }
+func filePath(dir, name string) string { return dir + "/" + name }
+
+// createDurable creates path with the given contents and makes both the
+// data and the directory entry durable (fsync file, fsync parent dir).
+func createDurable(fs filesys.MountedFS, dir, name string, data []byte) error {
+	path := filePath(dir, name)
+	if err := fs.Create(path); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if err := fs.Write(path, 0, data); err != nil {
+			return err
+		}
+	}
+	if err := fs.Fsync(path); err != nil {
+		return err
+	}
+	return fs.Fsync(dir)
+}
+
+// Create initialises an empty store under dir (created if missing) and
+// makes the initial structure durable before returning.
+func Create(fs filesys.MountedFS, dir string) (*Store, error) {
+	if err := fs.Mkdir(dir); err != nil && !errors.Is(err, filesys.ErrExist) {
+		return nil, fmt.Errorf("kvstore: create %s: %w", dir, err)
+	}
+	s := &Store{
+		fs:  fs,
+		dir: dir,
+		man: Manifest{TableFile: 0, WALFile: 2, LastSeq: 0, NextFile: 3},
+		tab: map[string]string{},
+		mem: map[string]memEntry{},
+	}
+	s.manFile = 1
+	s.walPath = filePath(dir, walName(s.man.WALFile))
+	if err := createDurable(fs, dir, walName(s.man.WALFile), nil); err != nil {
+		return nil, fmt.Errorf("kvstore: create wal: %w", err)
+	}
+	if err := createDurable(fs, dir, manifestName(s.manFile), EncodeManifest(s.man)); err != nil {
+		return nil, fmt.Errorf("kvstore: create manifest: %w", err)
+	}
+	if err := createDurable(fs, dir, "CURRENT", []byte(manifestName(s.manFile)+"\n")); err != nil {
+		return nil, fmt.Errorf("kvstore: create CURRENT: %w", err)
+	}
+	// Persist the store directory's own entry in its parent.
+	if parent := parentDir(dir); parent != "" {
+		if err := fs.Fsync(parent); err != nil {
+			return nil, fmt.Errorf("kvstore: fsync %s: %w", parent, err)
+		}
+	}
+	return s, nil
+}
+
+func parentDir(dir string) string {
+	i := strings.LastIndexByte(dir, '/')
+	if i <= 0 {
+		return "/"
+	}
+	return dir[:i]
+}
+
+// Open recovers the store from its durable state: CURRENT → manifest →
+// table, then the WAL tail. A missing CURRENT (or store directory) yields
+// an empty read-only store — the crash predates the store's creation
+// barrier, or the file system lost it; the oracle turns the difference
+// into legal-vs-lost-acknowledged verdicts. Structural damage behind an
+// existing CURRENT returns ErrUnreplayable.
+func Open(fs filesys.MountedFS, dir string) (*Store, error) {
+	s := &Store{fs: fs, dir: dir, tab: map[string]string{}, mem: map[string]memEntry{}}
+	cur, err := fs.ReadFile(currentPath(dir))
+	if err != nil {
+		if errors.Is(err, filesys.ErrNotExist) || errors.Is(err, filesys.ErrNotDir) {
+			s.fresh = true
+			return s, nil
+		}
+		return nil, fmt.Errorf("kvstore: read CURRENT: %w", err)
+	}
+	name := strings.TrimSuffix(string(cur), "\n")
+	var manNum uint64
+	if _, err := fmt.Sscanf(name, "MANIFEST-%06d", &manNum); err != nil || name != manifestName(manNum) {
+		return nil, fmt.Errorf("%w: CURRENT names %q", ErrUnreplayable, name)
+	}
+	s.manFile = manNum
+	manData, err := fs.ReadFile(filePath(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest %s: %v", ErrUnreplayable, name, err)
+	}
+	man, err := DecodeManifest(manData)
+	if err != nil {
+		return nil, fmt.Errorf("%w: manifest %s: %v", ErrUnreplayable, name, err)
+	}
+	s.man = man
+	if man.TableFile != 0 {
+		tabData, err := fs.ReadFile(filePath(dir, tableName(man.TableFile)))
+		if err != nil {
+			return nil, fmt.Errorf("%w: table %s: %v", ErrUnreplayable, tableName(man.TableFile), err)
+		}
+		recs, clean := DecodeLog(tabData)
+		if !clean {
+			return nil, fmt.Errorf("%w: table %s damaged", ErrUnreplayable, tableName(man.TableFile))
+		}
+		for _, rec := range recs {
+			// Tables hold only puts; anything else is structural damage.
+			if rec.Kind != RecPut {
+				return nil, fmt.Errorf("%w: table %s holds a %s record", ErrUnreplayable, tableName(man.TableFile), rec.Kind)
+			}
+			s.tab[rec.Key] = rec.Value
+		}
+	}
+	s.seq = man.LastSeq
+	s.walPath = filePath(dir, walName(man.WALFile))
+	walData, err := fs.ReadFile(s.walPath)
+	if err != nil && !errors.Is(err, filesys.ErrNotExist) {
+		return nil, fmt.Errorf("kvstore: read wal: %w", err)
+	}
+	// A torn or damaged WAL tail is dropped, not an error: unsynced
+	// records carry no durability promise. The clean replayed prefix is
+	// the recovered pending state.
+	recs, _ := DecodeLog(walData)
+	for _, rec := range recs {
+		if rec.Seq <= s.man.LastSeq {
+			continue // already folded into the table
+		}
+		s.applyMem(rec)
+		if rec.Seq > s.seq {
+			s.seq = rec.Seq
+		}
+	}
+	s.walLen = int64(len(walData))
+	return s, nil
+}
+
+// applyMem folds one replayed record into the memtable. The switch is
+// total over RecordKind: DecodeRecord rejects unknown kinds.
+func (s *Store) applyMem(rec Record) {
+	switch rec.Kind {
+	case RecPut:
+		s.mem[rec.Key] = memEntry{val: rec.Value}
+	case RecDelete:
+		s.mem[rec.Key] = memEntry{del: true}
+	case NumRecordKinds:
+		// unreachable: DecodeRecord bounds the kind
+	}
+}
+
+// appendRecord appends one record to the WAL page cache and applies it to
+// the memtable. The write is acknowledged but not durable until the next
+// Sync/Flush/Close.
+func (s *Store) appendRecord(kind RecordKind, key, value string) error {
+	if s.fresh {
+		return fmt.Errorf("kvstore: store recovered without CURRENT is read-only")
+	}
+	s.seq++
+	rec := Record{Seq: s.seq, Kind: kind, Key: key, Value: value}
+	framed := FrameAt(s.walLen, EncodeRecord(rec))
+	if err := s.fs.Write(s.walPath, s.walLen, framed); err != nil {
+		return fmt.Errorf("kvstore: wal append: %w", err)
+	}
+	s.walLen += int64(len(framed))
+	s.applyMem(rec)
+	return nil
+}
+
+// Put records key=value.
+func (s *Store) Put(key, value string) error { return s.appendRecord(RecPut, key, value) }
+
+// Delete records a tombstone for key.
+func (s *Store) Delete(key string) error { return s.appendRecord(RecDelete, key, "") }
+
+// Sync makes every acknowledged update durable via fdatasync of the WAL —
+// the cheap durability point (and the one the FSCQ-style fdatasync bugs
+// target).
+func (s *Store) Sync() error {
+	if s.fresh {
+		return nil
+	}
+	if err := s.fs.Fdatasync(s.walPath); err != nil {
+		return fmt.Errorf("kvstore: sync: %w", err)
+	}
+	return nil
+}
+
+// Flush folds the memtable into a new sorted table file and commits it
+// with the manifest/CURRENT pointer swap, then truncates the log by
+// switching to a fresh WAL file and deleting the old generation.
+func (s *Store) Flush() error {
+	if s.fresh {
+		return fmt.Errorf("kvstore: store recovered without CURRENT is read-only")
+	}
+	merged := s.dumpMerged()
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]Record, 0, len(keys))
+	for _, k := range keys {
+		recs = append(recs, Record{Seq: s.seq, Kind: RecPut, Key: k, Value: merged[k]})
+	}
+
+	tabNum := s.man.NextFile
+	walNum := s.man.NextFile + 1
+	manNum := s.man.NextFile + 2
+	newMan := Manifest{TableFile: tabNum, WALFile: walNum, LastSeq: s.seq, NextFile: s.man.NextFile + 3}
+
+	// Make the new generation durable before any pointer names it …
+	if err := createDurable(s.fs, s.dir, tableName(tabNum), EncodeLog(recs)); err != nil {
+		return fmt.Errorf("kvstore: flush table: %w", err)
+	}
+	if err := createDurable(s.fs, s.dir, walName(walNum), nil); err != nil {
+		return fmt.Errorf("kvstore: flush wal: %w", err)
+	}
+	if err := createDurable(s.fs, s.dir, manifestName(manNum), EncodeManifest(newMan)); err != nil {
+		return fmt.Errorf("kvstore: flush manifest: %w", err)
+	}
+	// … then swap CURRENT atomically and persist the rename …
+	if err := createDurable(s.fs, s.dir, "CURRENT.tmp", []byte(manifestName(manNum)+"\n")); err != nil {
+		return fmt.Errorf("kvstore: flush CURRENT.tmp: %w", err)
+	}
+	if err := s.fs.Rename(filePath(s.dir, "CURRENT.tmp"), currentPath(s.dir)); err != nil {
+		return fmt.Errorf("kvstore: flush rename: %w", err)
+	}
+	if err := s.fs.Fsync(s.dir); err != nil {
+		return fmt.Errorf("kvstore: flush fsync dir: %w", err)
+	}
+	// … and only then retire the old generation (crash here leaks files,
+	// never state).
+	oldWAL, oldTab, oldMan := s.man.WALFile, s.man.TableFile, s.manFile
+	_ = s.fs.Unlink(filePath(s.dir, walName(oldWAL)))
+	if oldTab != 0 {
+		_ = s.fs.Unlink(filePath(s.dir, tableName(oldTab)))
+	}
+	_ = s.fs.Unlink(filePath(s.dir, manifestName(oldMan)))
+
+	s.man = newMan
+	s.manFile = manNum
+	s.tab = merged
+	s.mem = map[string]memEntry{}
+	s.walPath = filePath(s.dir, walName(walNum))
+	s.walLen = 0
+	return nil
+}
+
+// Close makes every acknowledged update durable. The store handle is
+// reusable only via a fresh Open.
+func (s *Store) Close() error { return s.Sync() }
+
+// Get returns the current value for key.
+func (s *Store) Get(key string) (string, bool) {
+	if e, ok := s.mem[key]; ok {
+		if e.del {
+			return "", false
+		}
+		return e.val, true
+	}
+	v, ok := s.tab[key]
+	return v, ok
+}
+
+// dumpMerged merges the table under the memtable.
+func (s *Store) dumpMerged() map[string]string {
+	out := make(map[string]string, len(s.tab)+len(s.mem))
+	for k, v := range s.tab {
+		out[k] = v
+	}
+	for k, e := range s.mem {
+		if e.del {
+			delete(out, k)
+		} else {
+			out[k] = e.val
+		}
+	}
+	return out
+}
+
+// Dump returns the store's full logical contents — the recovered state the
+// oracle classifies.
+func (s *Store) Dump() map[string]string { return s.dumpMerged() }

@@ -1,0 +1,252 @@
+package kvstore
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"b3/internal/blockdev"
+	"b3/internal/filesys"
+	"b3/internal/fs/diskfmt"
+)
+
+// mountFresh formats and mounts a pristine reference file system.
+func mountFresh(t *testing.T) filesys.MountedFS {
+	t.Helper()
+	fs := diskfmt.NewFS(diskfmt.Options{})
+	dev := blockdev.NewMemDisk(25600)
+	if err := fs.Mkfs(dev); err != nil {
+		t.Fatal(err)
+	}
+	m, err := fs.Mount(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStorePutGetDelete(t *testing.T) {
+	m := mountFresh(t)
+	s, err := Create(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k0", "v0"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("k0"); !ok || v != "v0" {
+		t.Fatalf("Get(k0) = %q, %v", v, ok)
+	}
+	if err := s.Put("k0", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k1"); ok {
+		t.Fatal("deleted key visible")
+	}
+	want := map[string]string{"k0": "v1"}
+	if got := s.Dump(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Dump() = %v, want %v", got, want)
+	}
+}
+
+func TestStoreReopenRecoversAll(t *testing.T) {
+	m := mountFresh(t)
+	s, err := Create(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []func() error{
+		func() error { return s.Put("a", "1") },
+		func() error { return s.Put("b", "2") },
+		func() error { return s.Sync() },
+		func() error { return s.Delete("a") },
+		func() error { return s.Put("c", "3") },
+		func() error { return s.Close() },
+	}
+	for i, op := range ops {
+		if err := op(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	want := s.Dump()
+	r, err := Open(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Dump(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	// The reopened handle keeps working: its appends continue the WAL.
+	if err := r.Put("d", "4"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want["d"] = "4"
+	if got := r2.Dump(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("second recovery %v, want %v", got, want)
+	}
+}
+
+func TestStoreFlushCompactsAndRecovers(t *testing.T) {
+	m := mountFresh(t)
+	s, err := Create(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kv := range [][2]string{{"a", "1"}, {"b", "2"}, {"a", "3"}} {
+		if err := s.Put(kv[0], kv[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The old generation is retired; only the new one remains.
+	if _, err := m.ReadFile("/db/" + walName(2)); !errors.Is(err, filesys.ErrNotExist) {
+		t.Fatalf("old WAL survived flush: %v", err)
+	}
+	if err := s.Put("c", "9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "3", "c": "9"}
+	if got := r.Dump(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %v, want %v", got, want)
+	}
+	// A second flush retires the first flush's generation too.
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Open(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Dump(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-compaction recovery %v, want %v", got, want)
+	}
+}
+
+func TestStoreOpenWithoutCurrentIsFreshReadOnly(t *testing.T) {
+	m := mountFresh(t)
+	s, err := Open(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Dump(); len(got) != 0 {
+		t.Fatalf("fresh store holds %v", got)
+	}
+	if err := s.Put("k", "v"); err == nil {
+		t.Fatal("fresh store accepted a write")
+	}
+	if err := s.Flush(); err == nil {
+		t.Fatal("fresh store accepted a flush")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatalf("fresh store sync: %v", err)
+	}
+}
+
+func TestStoreOpenUnreplayable(t *testing.T) {
+	damage := map[string]func(t *testing.T, m filesys.MountedFS){
+		"garbled CURRENT": func(t *testing.T, m filesys.MountedFS) {
+			if err := m.Unlink("/db/CURRENT"); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Create("/db/CURRENT"); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Write("/db/CURRENT", 0, []byte("MANIFEST-garbage\n")); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"missing manifest": func(t *testing.T, m filesys.MountedFS) {
+			if err := m.Unlink("/db/" + manifestName(1)); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"corrupt manifest": func(t *testing.T, m filesys.MountedFS) {
+			data, err := m.ReadFile("/db/" + manifestName(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[0] ^= 0xff
+			if err := m.Write("/db/"+manifestName(1), 0, data); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, breakIt := range damage {
+		t.Run(name, func(t *testing.T) {
+			m := mountFresh(t)
+			s, err := Create(m, "/db")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("k", "v"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			breakIt(t, m)
+			if _, err := Open(m, "/db"); !errors.Is(err, ErrUnreplayable) {
+				t.Fatalf("Open after damage: %v, want ErrUnreplayable", err)
+			}
+		})
+	}
+}
+
+func TestStoreTornWALTailDropsPending(t *testing.T) {
+	m := mountFresh(t)
+	s, err := Create(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", "1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", "2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second record's bytes in place: recovery must keep the
+	// clean prefix ("a") and drop the damaged tail, not fail.
+	wal := "/db/" + walName(2)
+	data, err := m.ReadFile(wal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := len(FrameAt(0, EncodeRecord(Record{Seq: 1, Kind: RecPut, Key: "a", Value: "1"})))
+	data[recLen+2] ^= 0x55
+	if err := m.Write(wal, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(m, "/db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "1"}
+	if got := r.Dump(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered %v, want clean prefix %v", got, want)
+	}
+}

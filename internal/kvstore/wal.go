@@ -1,0 +1,316 @@
+// Package kvstore is a small log-structured key-value store that runs on
+// top of the mounted filesys backends — the application layer of the B3
+// harness. Updates are acknowledged once appended to a write-ahead log in
+// the goleveldb record format (32 KB blocks, 7-byte fragment headers with a
+// masked Castagnoli CRC); a memtable flush rewrites the live set into a
+// sorted table file and commits it with a CURRENT/manifest pointer swap.
+// Crash states recover by loading CURRENT → manifest → table and replaying
+// the WAL tail, and the kvoracle package classifies the recovered contents
+// against the acknowledged/pending expectation — the application-level bug
+// classes (lost acknowledged writes, resurrected deletes, unreplayable
+// stores) that B3's file-level checks structurally cannot see.
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Log framing constants (the goleveldb/LevelDB record format): a log is a
+// sequence of 32 KB blocks, each holding fragment records with a 7-byte
+// header — 4 bytes masked CRC, 2 bytes little-endian fragment length, 1
+// byte fragment type. A record payload too large for the space left in a
+// block is split First/Middle.../Last; a block tail smaller than a header
+// is zero-padded.
+const (
+	// BlockSize is the log block granularity.
+	BlockSize = 32768
+	// HeaderSize is the per-fragment header: CRC(4) + length(2) + type(1).
+	HeaderSize = 4 + 2 + 1
+)
+
+// Fragment types.
+const (
+	fragZero   byte = 0 // zero-padding / preallocated space
+	fragFull   byte = 1
+	fragFirst  byte = 2
+	fragMiddle byte = 3
+	fragLast   byte = 4
+)
+
+// RecordKind is the kind of one logical KV record.
+type RecordKind uint8
+
+const (
+	// RecPut maps a key to a value.
+	RecPut RecordKind = iota
+	// RecDelete is a tombstone for a key.
+	RecDelete
+	// NumRecordKinds is the sentinel bounding the enum; not a record kind.
+	NumRecordKinds
+)
+
+// String returns a short kind name.
+func (k RecordKind) String() string {
+	switch k {
+	case RecPut:
+		return "put"
+	case RecDelete:
+		return "del"
+	case NumRecordKinds:
+		return "sentinel"
+	}
+	return "unknown"
+}
+
+// Record is one logical KV record: a sequence-numbered put or delete.
+type Record struct {
+	Seq   uint64
+	Kind  RecordKind
+	Key   string
+	Value string
+}
+
+// ErrBadRecord reports a record payload that does not decode. Framing-level
+// damage (bad CRC, torn tail) is not an error: the reader stops at the
+// damage and returns the clean prefix, which is exactly the recovery
+// semantics the durability model promises.
+var ErrBadRecord = errors.New("kvstore: bad record payload")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maskCRC applies the LevelDB CRC mask so that a CRC of data that itself
+// contains CRCs does not collide trivially.
+func maskCRC(c uint32) uint32 {
+	return ((c >> 15) | (c << 17)) + 0xa282ead8
+}
+
+// fragCRC is the masked checksum of one fragment: type byte then payload.
+func fragCRC(t byte, payload []byte) uint32 {
+	c := crc32.Update(0, castagnoli, []byte{t})
+	c = crc32.Update(c, castagnoli, payload)
+	return maskCRC(c)
+}
+
+// EncodeRecord renders the logical record payload: kind byte, then uvarint
+// seq, key length, key bytes, value length, value bytes.
+func EncodeRecord(rec Record) []byte {
+	buf := make([]byte, 0, 1+3*binary.MaxVarintLen64+len(rec.Key)+len(rec.Value))
+	buf = append(buf, byte(rec.Kind))
+	buf = binary.AppendUvarint(buf, rec.Seq)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Key)))
+	buf = append(buf, rec.Key...)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.Value)))
+	buf = append(buf, rec.Value...)
+	return buf
+}
+
+// DecodeRecord parses a payload produced by EncodeRecord. Trailing garbage
+// after a well-formed record is an error: payloads are framed exactly.
+func DecodeRecord(payload []byte) (Record, error) {
+	var rec Record
+	if len(payload) < 1 {
+		return rec, fmt.Errorf("%w: empty payload", ErrBadRecord)
+	}
+	kind := RecordKind(payload[0])
+	if kind >= NumRecordKinds {
+		return rec, fmt.Errorf("%w: kind %d", ErrBadRecord, payload[0])
+	}
+	rec.Kind = kind
+	rest := payload[1:]
+	seq, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return rec, fmt.Errorf("%w: seq varint", ErrBadRecord)
+	}
+	rec.Seq = seq
+	rest = rest[n:]
+	klen, n := binary.Uvarint(rest)
+	if n <= 0 || klen > uint64(len(rest)-n) {
+		return rec, fmt.Errorf("%w: key length", ErrBadRecord)
+	}
+	rest = rest[n:]
+	rec.Key = string(rest[:klen])
+	rest = rest[klen:]
+	vlen, n := binary.Uvarint(rest)
+	if n <= 0 || vlen > uint64(len(rest)-n) {
+		return rec, fmt.Errorf("%w: value length", ErrBadRecord)
+	}
+	rest = rest[n:]
+	rec.Value = string(rest[:vlen])
+	if len(rest[vlen:]) != 0 {
+		return rec, fmt.Errorf("%w: %d trailing bytes", ErrBadRecord, len(rest[vlen:]))
+	}
+	return rec, nil
+}
+
+// AppendFramed appends payload to log as one or more fragments, continuing
+// at the block offset len(log) % BlockSize. The result is the log content
+// to write contiguously after the existing bytes; callers append to a file
+// whose length equals len(log)'s framing position.
+func AppendFramed(log []byte, payload []byte) []byte {
+	return append(log, FrameAt(int64(len(log)), payload)...)
+}
+
+// FrameAt renders the framed bytes for payload as they would be appended to
+// a log currently off bytes long — the appending writer's primitive: frame
+// at the file's length, write the result at that offset.
+func FrameAt(off int64, payload []byte) []byte {
+	var out []byte
+	first := true
+	for {
+		blockOff := int((off + int64(len(out))) % BlockSize)
+		left := BlockSize - blockOff
+		if left < HeaderSize {
+			// Too little room for a header: zero-fill to the block edge.
+			for i := 0; i < left; i++ {
+				out = append(out, 0)
+			}
+			continue
+		}
+		avail := left - HeaderSize
+		frag := payload
+		if len(frag) > avail {
+			frag = payload[:avail]
+		}
+		payload = payload[len(frag):]
+		last := len(payload) == 0
+		var t byte
+		switch {
+		case first && last:
+			t = fragFull
+		case first:
+			t = fragFirst
+		case last:
+			t = fragLast
+		default:
+			t = fragMiddle
+		}
+		var hdr [HeaderSize]byte
+		binary.LittleEndian.PutUint32(hdr[0:4], fragCRC(t, frag))
+		binary.LittleEndian.PutUint16(hdr[4:6], uint16(len(frag)))
+		hdr[6] = t
+		out = append(out, hdr[:]...)
+		out = append(out, frag...)
+		if last {
+			return out
+		}
+		first = false
+	}
+}
+
+// ReadFramed walks the framed log and returns every complete record payload
+// in order. clean reports whether the walk consumed the log without hitting
+// damage; damage (bad CRC, impossible length, torn tail, broken fragment
+// sequencing) stops the walk and discards any partially assembled record —
+// the LevelDB recovery rule of dropping the damaged tail. ReadFramed never
+// fails and never panics: any input yields the longest clean prefix.
+func ReadFramed(log []byte) (payloads [][]byte, clean bool) {
+	var partial []byte
+	inRecord := false
+	pos := 0
+	for {
+		off := pos % BlockSize
+		left := len(log) - pos
+		if left == 0 {
+			return payloads, !inRecord
+		}
+		if BlockSize-off < HeaderSize {
+			// Block trailer: must be zero padding.
+			pad := BlockSize - off
+			if pad > left {
+				pad = left
+			}
+			for i := 0; i < pad; i++ {
+				if log[pos+i] != 0 {
+					return payloads, false
+				}
+			}
+			pos += pad
+			continue
+		}
+		if left < HeaderSize {
+			// Torn mid-header tail.
+			return payloads, false
+		}
+		hdr := log[pos : pos+HeaderSize]
+		t := hdr[6]
+		if t == fragZero {
+			// Preallocated / zeroed space: everything from here in the
+			// block must be zero to count as clean padding.
+			n := BlockSize - off
+			if n > left {
+				n = left
+			}
+			for i := 0; i < n; i++ {
+				if log[pos+i] != 0 {
+					return payloads, false
+				}
+			}
+			pos += n
+			continue
+		}
+		if t > fragLast {
+			return payloads, false
+		}
+		fragLen := int(binary.LittleEndian.Uint16(hdr[4:6]))
+		if fragLen > BlockSize-off-HeaderSize || left < HeaderSize+fragLen {
+			return payloads, false
+		}
+		frag := log[pos+HeaderSize : pos+HeaderSize+fragLen]
+		if binary.LittleEndian.Uint32(hdr[0:4]) != fragCRC(t, frag) {
+			return payloads, false
+		}
+		switch t {
+		case fragFull:
+			if inRecord {
+				return payloads, false
+			}
+			payloads = append(payloads, append([]byte(nil), frag...))
+		case fragFirst:
+			if inRecord {
+				return payloads, false
+			}
+			partial = append(partial[:0], frag...)
+			inRecord = true
+		case fragMiddle:
+			if !inRecord {
+				return payloads, false
+			}
+			partial = append(partial, frag...)
+		case fragLast:
+			if !inRecord {
+				return payloads, false
+			}
+			partial = append(partial, frag...)
+			payloads = append(payloads, append([]byte(nil), partial...))
+			inRecord = false
+		}
+		pos += HeaderSize + fragLen
+	}
+}
+
+// DecodeLog reads every logical record from a framed log. Framing damage
+// ends the walk (clean=false); a payload that fails DecodeRecord also ends
+// it — the tail after damage is unreachable by the recovery contract.
+func DecodeLog(log []byte) (recs []Record, clean bool) {
+	payloads, clean := ReadFramed(log)
+	for _, p := range payloads {
+		rec, err := DecodeRecord(p)
+		if err != nil {
+			return recs, false
+		}
+		recs = append(recs, rec)
+	}
+	return recs, clean
+}
+
+// EncodeLog frames every record into a fresh log image.
+func EncodeLog(recs []Record) []byte {
+	var log []byte
+	for _, rec := range recs {
+		log = AppendFramed(log, EncodeRecord(rec))
+	}
+	return log
+}

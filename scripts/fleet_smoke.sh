@@ -60,15 +60,34 @@ echo "== unsharded baseline" >&2
 "$bin" -profile seq-1 -fs all -reorder 1 >"$work/unsharded.out"
 
 # Extract the per-FS stable counters from each table — every data row
-# between the dashed separator and the following blank line (see
-# shard_smoke.sh for the column maps). The merged fleet table is the
-# -merge table; normalize both to
-#   fs generated tested failing groups new states reorder r-broken
-table_rows='$1 ~ /^-+$/ {t=1; next} t && NF == 0 {t=0} t'
-awk "$table_rows"' {print $1, $4, $5, $6, $7, $8, $9, $10, $11}' \
-  "$work/merged.out" | sort >"$work/merged.counters"
-awk "$table_rows"' {print $1, $2, $3, $4, $5, $6, $7, $11, $13}' \
-  "$work/unsharded.out" | sort >"$work/unsharded.counters"
+# between the dashed separator and the following blank line. Columns are
+# looked up by header name (see shard_smoke.sh for why positional picks are
+# a trap); a missing required header yields zero extracted rows, which the
+# >= 5-row guard below turns into a loud failure.
+extract_counters() {
+  awk -v NEED='file system,generated,tested,failing,groups,new,states,reorder,r-broken,kv' '
+    BEGIN { FS = "  +"; nneed = split(NEED, need, ",") }
+    /^-+(  +-+)*$/ {
+      # The line before the dashed separator is the header row.
+      for (i = 1; i <= nh; i++) col[h[i]] = i
+      for (i = 1; i <= nneed; i++) if (!(need[i] in col)) {
+        printf "missing column %s in table header\n", need[i] > "/dev/stderr"
+        exit 2
+      }
+      t = 1; next
+    }
+    t && NF == 0 { t = 0 }
+    t {
+      out = $(col[need[1]])
+      for (i = 2; i <= nneed; i++) out = out " " $(col[need[i]])
+      print out
+      next
+    }
+    { nh = split($0, h, "  +") }
+  ' "$1" | sort
+}
+extract_counters "$work/merged.out" >"$work/merged.counters"
+extract_counters "$work/unsharded.out" >"$work/unsharded.counters"
 
 echo "== merged counters" >&2
 cat "$work/merged.counters" >&2

@@ -26,19 +26,36 @@ go run ./cmd/b3 -profile seq-1 -fs all >"$work/unsharded.out"
 
 # Extract the per-FS stable counters from each table — every data row
 # between the dashed separator and the following blank line, so newly
-# registered backends join the comparison automatically. The merged table is
-#   fs profile shards generated tested failing groups new states reorder r-broken torn corrupt misdir replayed
-# and the matrix table is
-#   fs generated tested failing groups new states pruned% evicted rw/state reorder r-skip r-broken torn corrupt misdir
-# so pick the shared columns by position and normalize both to
-#   fs generated tested failing groups new states reorder r-broken
-# (a column added to either table misaligns the picks and the diff below
-# fails loudly rather than passing vacuously).
-table_rows='$1 ~ /^-+$/ {t=1; next} t && NF == 0 {t=0} t'
-awk "$table_rows"' {print $1, $4, $5, $6, $7, $8, $9, $10, $11}' \
-  "$work/merged.out" | sort >"$work/merged.counters"
-awk "$table_rows"' {print $1, $2, $3, $4, $5, $6, $7, $11, $13}' \
-  "$work/unsharded.out" | sort >"$work/unsharded.counters"
+# registered backends join the comparison automatically. Columns are looked
+# up by header name, not position: the merge and matrix tables order their
+# columns differently and both grow new ones over time, and a positional
+# pick silently compares the wrong counters when that happens. A required
+# header that is missing yields zero extracted rows, which the >= 5-row
+# guard below turns into a loud failure.
+extract_counters() {
+  awk -v NEED='file system,generated,tested,failing,groups,new,states,reorder,r-broken,kv' '
+    BEGIN { FS = "  +"; nneed = split(NEED, need, ",") }
+    /^-+(  +-+)*$/ {
+      # The line before the dashed separator is the header row.
+      for (i = 1; i <= nh; i++) col[h[i]] = i
+      for (i = 1; i <= nneed; i++) if (!(need[i] in col)) {
+        printf "missing column %s in table header\n", need[i] > "/dev/stderr"
+        exit 2
+      }
+      t = 1; next
+    }
+    t && NF == 0 { t = 0 }
+    t {
+      out = $(col[need[1]])
+      for (i = 2; i <= nneed; i++) out = out " " $(col[need[i]])
+      print out
+      next
+    }
+    { nh = split($0, h, "  +") }
+  ' "$1" | sort
+}
+extract_counters "$work/merged.out" >"$work/merged.counters"
+extract_counters "$work/unsharded.out" >"$work/unsharded.counters"
 
 echo "== merged counters" >&2
 cat "$work/merged.counters" >&2
